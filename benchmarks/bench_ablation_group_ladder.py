@@ -1,0 +1,19 @@
+"""Extra ablation (DESIGN.md section 6): the NAP group-size ladder.
+
+Sweeps GRIT's maximum group size (1 disables neighbor propagation, 512
+is the paper's choice — one 2 MB page-table page) to show how much of
+Neighboring-Aware Prediction's benefit each rung contributes.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_ablation_group_ladder(benchmark):
+    figure = regenerate(benchmark, "ablation_group_ladder")
+    no_nap = figure.cell("geomean", "group_1")
+    full = figure.cell("geomean", "group_512")
+    # Enabling the ladder never hurts on average.
+    assert full >= no_nap * 0.99
+    # Every configuration still beats on-touch overall.
+    for column in figure.columns:
+        assert figure.cell("geomean", column) > 1.0

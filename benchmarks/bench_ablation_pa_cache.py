@@ -1,0 +1,18 @@
+"""Extra ablation (DESIGN.md section 6): per-app PA-Cache contribution.
+
+Complements Figure 20 by showing where the PA-Cache's
+bandwidth-contention savings land per application.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_ablation_pa_cache(benchmark):
+    figure = regenerate(benchmark, "ablation_pa_cache")
+    ratios = [
+        figure.cell(app, "ratio")
+        for app in ("bfs", "bs", "c2d", "fir", "gemm", "mm", "sc", "st")
+    ]
+    # The PA-Cache never hurts much and helps the fault-heavy apps.
+    assert all(ratio > 0.9 for ratio in ratios)
+    assert max(ratios) > 1.0

@@ -1,0 +1,19 @@
+"""Extension study: DRAM capacity (oversubscription) sensitivity.
+
+Table I pins GPU DRAM at 70% of the application footprint; this sweep
+shows how the scheme tradeoffs move with that knob.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_extension_oversubscription(benchmark):
+    figure = regenerate(benchmark, "extension_oversubscription")
+    # Duplication is the scheme most hurt by shrinking capacity: its
+    # replicas are what overflow the frames.
+    dup_tight = figure.cell("dram_50pct", "duplication")
+    dup_roomy = figure.cell("dram_90pct", "duplication")
+    assert dup_roomy > dup_tight
+    # GRIT stays ahead of on-touch at every capacity point.
+    for row in ("dram_50pct", "dram_70pct", "dram_90pct"):
+        assert figure.cell(row, "grit") > 1.0

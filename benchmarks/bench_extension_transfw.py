@@ -1,0 +1,16 @@
+"""Extension study: GRIT stacked with Trans-FW.
+
+Beyond the paper's Figure 28 (which stacks Trans-FW on Griffin-DPC):
+the same fault-service acceleration is orthogonal to GRIT too.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_extension_grit_transfw(benchmark):
+    figure = regenerate(benchmark, "extension_grit_transfw")
+    # Stacking Trans-FW on GRIT yields additional gains.
+    assert figure.cell("geomean", "stack_gain") > 1.0
+    assert figure.cell("geomean", "grit_transfw") > figure.cell(
+        "geomean", "grit"
+    )

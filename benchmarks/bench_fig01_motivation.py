@@ -1,0 +1,30 @@
+"""Figure 1: uniform scheme performance relative to on-touch migration.
+
+Paper: no one-size-fits-all scheme — on-touch wins FIR/SC/C2D,
+duplication wins BFS/GEMM/MM, access-counter wins BS, and Ideal sits far
+above everything.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig01_motivation(benchmark):
+    figure = regenerate(benchmark, "fig01")
+    # On-touch is the normalization baseline.
+    for app in ("fir", "sc", "c2d"):
+        assert figure.cell(app, "on_touch") == 1.0
+        # OT wins (or effectively ties) the private/PC-shared apps.
+        assert figure.cell(app, "access_counter") < 1.05
+    # Duplication wins the read-shared apps.
+    for app in ("bfs", "gemm"):
+        assert figure.cell(app, "duplication") > max(
+            1.0, figure.cell(app, "access_counter") * 0.9
+        )
+    # Access-counter wins bitonic sort.
+    assert figure.cell("bs", "access_counter") > figure.cell(
+        "bs", "duplication"
+    )
+    # Ideal dominates everywhere.
+    for app in ("bfs", "bs", "c2d", "fir", "gemm", "mm", "sc", "st"):
+        row = figure.rows[app]
+        assert figure.cell(app, "ideal") == max(row)

@@ -1,0 +1,33 @@
+"""Figure 3: page-handling latency breakdown per placement scheme.
+
+Paper: on-touch is dominated by page-migration latency; access-counter
+trades it for remote-access latency; duplication eliminates both but
+pays page-duplication and write-collapse.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig03_latency_breakdown(benchmark):
+    figure = regenerate(benchmark, "fig03")
+    apps = ("bfs", "bs", "c2d", "fir", "gemm", "mm", "sc", "st")
+    for app in apps:
+        ot = figure.rows[f"{app}/on_touch"]
+        ac = figure.rows[f"{app}/access_counter"]
+        dup = figure.rows[f"{app}/duplication"]
+        columns = figure.columns
+        # OT has no remote access/duplication/collapse latency at all.
+        assert ot[columns.index("Remote-access")] == 0.0
+        assert ot[columns.index("Write-collapse")] == 0.0
+        # AC shifts page handling toward remote accesses.
+        assert ac[columns.index("Remote-access")] > 0.0
+        assert ac[columns.index("Page-migration")] <= (
+            ot[columns.index("Page-migration")]
+        )
+        # Duplication shows its two unique categories instead.
+        assert dup[columns.index("Page-duplication")] > 0.0
+        assert dup[columns.index("Remote-access")] == 0.0
+    # Write collapse shows up in the read-write intensive apps.
+    for app in ("bs", "c2d", "st"):
+        dup = figure.rows[f"{app}/duplication"]
+        assert dup[figure.columns.index("Write-collapse")] > 0.0

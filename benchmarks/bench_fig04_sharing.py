@@ -1,0 +1,19 @@
+"""Figure 4: private vs shared pages and accesses per application.
+
+Paper: FIR/SC are almost all private; BFS/ST almost all shared (with
+BFS's accesses still going mostly to private pages); C2D/MM mixed.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig04_sharing(benchmark):
+    figure = regenerate(benchmark, "fig04")
+    assert figure.cell("fir", "private_pages") > 0.85
+    assert figure.cell("sc", "private_pages") > 0.85
+    assert figure.cell("st", "shared_pages") > 0.85
+    assert figure.cell("bfs", "shared_pages") > 0.5
+    # BFS: many shared pages but most accesses go to private ones.
+    assert figure.cell("bfs", "private_accesses") > 0.5
+    for app in ("c2d", "mm"):
+        assert 0.2 < figure.cell(app, "shared_pages") < 0.8

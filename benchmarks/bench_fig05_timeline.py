@@ -1,0 +1,17 @@
+"""Figure 5: shared-page access patterns over time.
+
+Paper: C2D's shared pages are producer-consumer (one GPU dominates each
+interval, the dominating GPU changes over time); ST's are all-shared.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig05_shared_page_timeline(benchmark):
+    figure = regenerate(benchmark, "fig05")
+    c2d_pc = figure.cell("c2d", "pc_fraction")
+    st_pc = figure.cell("st", "pc_fraction")
+    # C2D's shared pages skew PC-shared far more than ST's.
+    assert c2d_pc > st_pc
+    assert c2d_pc > 0.5
+    assert figure.cell("st", "all_shared_pages") > 0

@@ -1,0 +1,16 @@
+"""Figures 6-7: GEMM page attributes over time.
+
+Paper: at any interval, consecutive GEMM pages exhibit the same
+private/shared and read/read-write attributes (the input and output
+matrices are separately consecutive memory segments).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig06_07_gemm_attribute_maps(benchmark):
+    figure = regenerate(benchmark, "fig06_07")
+    # Neighbouring pages agree on both attribute axes almost always.
+    assert figure.cell("sharing", "neighbor_agreement") > 0.85
+    assert figure.cell("read_write", "neighbor_agreement") > 0.8
+    assert figure.cell("sharing", "intervals") > 10

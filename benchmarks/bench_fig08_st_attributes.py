@@ -1,0 +1,13 @@
+"""Figure 8: ST page attributes over time.
+
+Paper: even though ST page attributes change over time, neighbouring
+pages change *together* — the basis for Neighboring-Aware Prediction.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig08_st_attribute_map(benchmark):
+    figure = regenerate(benchmark, "fig08")
+    assert figure.cell("sharing", "neighbor_agreement") > 0.85
+    assert figure.cell("read_write", "neighbor_agreement") > 0.8

@@ -1,0 +1,16 @@
+"""Figure 9: accesses to read-only pages vs read-write pages.
+
+Paper: BFS/GEMM/MM are read-dominated (duplication-friendly);
+BS/C2D/SC's outputs/ST are read-write intensive (collapse-prone).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig09_read_write_split(benchmark):
+    figure = regenerate(benchmark, "fig09")
+    for app in ("bfs", "mm"):
+        assert figure.cell(app, "read_accesses") > 0.7
+    assert figure.cell("gemm", "read_accesses") > 0.5
+    for app in ("bs", "st"):
+        assert figure.cell(app, "read_write_accesses") > 0.5

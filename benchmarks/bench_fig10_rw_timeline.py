@@ -1,0 +1,20 @@
+"""Figure 10: read/write mix over time for one ST read-write page.
+
+Paper: there are intervals with only read accesses followed by intervals
+with both reads and writes — duplication suits the page early, not late.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig10_rw_timeline(benchmark):
+    figure = regenerate(benchmark, "fig10")
+    # The sampled page has a read-only prefix before writes start.
+    assert figure.rows["read_only_intervals"][0] >= 1
+    # And it does see writes eventually.
+    total_writes = sum(
+        values[1]
+        for label, values in figure.rows.items()
+        if label.startswith("interval_")
+    )
+    assert total_writes > 0

@@ -1,0 +1,32 @@
+"""Figure 17: GRIT vs the three uniform schemes — the headline result.
+
+Paper: GRIT averages +60%/+49%/+29% over on-touch, access-counter, and
+duplication respectively, tracking the best uniform scheme per app
+(within 2% of duplication on BFS) and winning outright on ST.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig17_overall_performance(benchmark):
+    figure = regenerate(benchmark, "fig17")
+    grit = figure.cell("geomean", "grit")
+    # GRIT beats every uniform scheme on average.
+    assert grit > figure.cell("geomean", "access_counter")
+    assert grit > figure.cell("geomean", "duplication")
+    assert grit > 1.3  # paper: 1.60 over on-touch
+    # GRIT tracks the per-app best uniform scheme.
+    for app in ("bfs", "bs", "c2d", "fir", "gemm", "mm", "sc", "st"):
+        best = max(
+            figure.cell(app, policy)
+            for policy in ("on_touch", "access_counter", "duplication")
+        )
+        assert figure.cell(app, "grit") > best * 0.8, app
+    # GRIT wins outright on stencil (largest ideal gap in the paper).
+    st_best = max(
+        figure.cell("st", policy)
+        for policy in ("on_touch", "access_counter", "duplication")
+    )
+    assert figure.cell("st", "grit") > st_best
+    # But stays well below Ideal.
+    assert figure.cell("geomean", "grit") < figure.cell("geomean", "ideal")

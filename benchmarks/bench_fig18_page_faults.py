@@ -1,0 +1,17 @@
+"""Figure 18: total GPU page faults normalized to on-touch.
+
+Paper: GRIT cuts faults by 39%/55%/16% vs OT/AC/duplication.  In this
+reproduction the OT and duplication reductions hold; the AC comparison
+flips sign because our sparse traces let AC's remote mappings stay
+stable (see EXPERIMENTS.md).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig18_page_faults(benchmark):
+    figure = regenerate(benchmark, "fig18")
+    assert figure.cell("mean", "grit") < 0.85  # paper 0.61 vs OT
+    assert figure.cell("mean", "grit") < figure.cell("mean", "duplication")
+    for app in ("bfs", "bs", "c2d", "fir", "gemm", "mm", "sc", "st"):
+        assert figure.cell(app, "on_touch") == 1.0

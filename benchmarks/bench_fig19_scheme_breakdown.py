@@ -1,0 +1,24 @@
+"""Figure 19: placement-scheme usage under GRIT per application.
+
+Paper: duplication dominates BFS/GEMM/MM, on-touch dominates C2D/FIR/SC,
+access-counter dominates BS, and ST mixes duplication with on-touch.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig19_scheme_breakdown(benchmark):
+    figure = regenerate(benchmark, "fig19")
+    # Read-shared apps converge on duplication.
+    for app in ("bfs", "gemm"):
+        assert figure.cell(app, "D") > 0.3
+    # Private-heavy apps keep the on-touch start.
+    for app in ("fir", "sc"):
+        assert figure.cell(app, "OT") > 0.5
+    # BS uses access-counter more than any other app.
+    bs_ac = figure.cell("bs", "AC")
+    for app in ("bfs", "c2d", "fir", "gemm", "mm", "sc", "st"):
+        assert bs_ac >= figure.cell(app, "AC")
+    # Usage fractions are a proper distribution.
+    for app in ("bfs", "bs", "c2d", "fir", "gemm", "mm", "sc", "st"):
+        assert abs(sum(figure.rows[app]) - 1.0) < 1e-9

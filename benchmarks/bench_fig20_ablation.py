@@ -1,0 +1,21 @@
+"""Figure 20: GRIT component ablation.
+
+Paper: PA-Table only +31%, +PA-Cache +47%, +NAP +44%, full GRIT +60% —
+each component contributes and they compose.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig20_component_ablation(benchmark):
+    figure = regenerate(benchmark, "fig20")
+    pa_only = figure.cell("geomean", "pa_table_only")
+    pa_cache = figure.cell("geomean", "pa_table_pa_cache")
+    pa_nap = figure.cell("geomean", "pa_table_nap")
+    full = figure.cell("geomean", "full_grit")
+    # Paper ordering: PA-Table only is the weakest, full GRIT strongest,
+    # and each added component helps over PA-Table alone.
+    assert pa_only < full
+    assert pa_cache > pa_only
+    assert pa_nap > pa_only
+    assert full >= max(pa_cache, pa_nap) * 0.98

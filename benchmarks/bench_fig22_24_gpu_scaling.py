@@ -1,0 +1,14 @@
+"""Figures 22-24: GRIT with 2, 8 and 16 GPUs (same input size).
+
+Paper: GRIT stays effective at every GPU count (+40%/+38%/+27% over
+on-touch with 2/8/16 GPUs) with fault reductions around 30-34%.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig22_24_gpu_scaling(benchmark):
+    figure = regenerate(benchmark, "fig22_24")
+    for row in ("2_gpus", "8_gpus", "16_gpus"):
+        assert figure.cell(row, "speedup_vs_ot") > 1.15
+        assert figure.cell(row, "fault_reduction_vs_ot") > 0.0

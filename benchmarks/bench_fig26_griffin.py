@@ -1,0 +1,19 @@
+"""Figure 26: Griffin comparison.
+
+Paper: GRIT +27% over Griffin-DPC; ACUD is orthogonal — GRIT+ACUD gains
+another +9% over GRIT and beats full Griffin (DPC+ACUD) by +16%.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig26_griffin_comparison(benchmark):
+    figure = regenerate(benchmark, "fig26")
+    grit = figure.cell("geomean", "grit")
+    dpc = figure.cell("geomean", "griffin_dpc")
+    griffin = figure.cell("geomean", "griffin")
+    grit_acud = figure.cell("geomean", "grit_acud")
+    assert dpc == 1.0  # normalization baseline
+    assert grit > dpc  # paper +27%
+    assert grit_acud > grit  # paper +9%
+    assert grit_acud > griffin  # paper +16%

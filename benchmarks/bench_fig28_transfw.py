@@ -1,0 +1,15 @@
+"""Figure 28: GRIT vs Griffin-DPC combined with Trans-FW.
+
+Paper: the combination reduces both migrations (DPC) and fault-handling
+latency (Trans-FW), yet GRIT still wins by +18% on average because it
+enables more local accesses outright.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig28_transfw_combination(benchmark):
+    figure = regenerate(benchmark, "fig28")
+    assert figure.cell("geomean", "grit_vs_dpc_transfw") > 0.9
+    # GRIT's biggest wins are on the write-shared apps.
+    assert figure.cell("bs", "grit_vs_dpc_transfw") > 1.2

@@ -1,0 +1,18 @@
+"""Figure 29: GRIT vs first-touch migration.
+
+Paper: +54% on average — marginal on the private-heavy apps (FIR, SC)
+where first-touch already pins pages correctly, large on the
+shared-access-heavy apps (MM, GEMM, BS).
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig29_first_touch(benchmark):
+    figure = regenerate(benchmark, "fig29")
+    # Marginal difference on private-heavy apps.
+    for app in ("fir", "sc"):
+        assert 0.85 < figure.cell(app, "grit_vs_first_touch") < 1.25
+    # Clear wins where shared accesses dominate.
+    assert figure.cell("bs", "grit_vs_first_touch") > 1.5
+    assert figure.cell("st", "grit_vs_first_touch") > 1.0

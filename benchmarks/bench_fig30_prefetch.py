@@ -1,0 +1,19 @@
+"""Figure 30: GRIT combined with tree-based neighborhood prefetching.
+
+Paper: GRIT-with-prefetching beats on-touch-with-prefetching by +23% —
+placement-scheme selection is complementary to prefetching.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig30_prefetch_combination(benchmark):
+    figure = regenerate(benchmark, "fig30")
+    assert figure.cell("geomean", "grit_vs_ot_with_prefetch") > 1.1
+    # The prefetcher actually fired during the GRIT runs.
+    total_prefetches = sum(
+        values[1]
+        for label, values in figure.rows.items()
+        if label != "geomean"
+    )
+    assert total_prefetches > 0

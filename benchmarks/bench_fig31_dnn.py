@@ -1,0 +1,13 @@
+"""Figure 31: DNN model-parallel training (VGG16 and ResNet18).
+
+Paper: GRIT improves VGG16 by +15% and ResNet18 by +18% over their
+on-touch baselines — it also works for multi-GPU DNN training.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_fig31_dnn_workloads(benchmark):
+    figure = regenerate(benchmark, "fig31")
+    assert figure.cell("vgg16", "grit_vs_ot") > 1.05
+    assert figure.cell("resnet18", "grit_vs_ot") > 1.05

@@ -1,0 +1,67 @@
+"""Microbenchmarks of the simulator's hot structures.
+
+Unlike the figure benchmarks (one-shot regenerations), these use
+pytest-benchmark's statistical timing to track the per-operation cost of
+the structures the engine hits on every access: TLB lookups, PA-Cache
+accesses, DRAM installs, and the end-to-end engine loop.
+"""
+
+import numpy as np
+
+from repro.config import SystemConfig, TLBConfig
+from repro.core.pa_cache import PACache
+from repro.core.pa_table import PATable
+from repro.memsys.dram import DramDirectory
+from repro.memsys.page_table import LocalPTE
+from repro.memsys.tlb import SetAssociativeTLB
+from repro.policies import make_policy
+from repro.sim import Engine
+from repro.workloads import make_workload
+
+
+def test_tlb_lookup_throughput(benchmark):
+    tlb = SetAssociativeTLB(TLBConfig(entries=512, ways=16, lookup_latency=10))
+    for vpn in range(512):
+        tlb.insert(vpn, LocalPTE(location=0, writable=True))
+    vpns = list(range(0, 512, 7)) * 20
+
+    def lookups():
+        for vpn in vpns:
+            tlb.lookup(vpn)
+
+    benchmark(lookups)
+
+
+def test_pa_cache_access_throughput(benchmark):
+    cache = PACache(PATable(), entries=64, ways=4)
+    vpns = list(np.random.default_rng(0).integers(0, 400, size=1000))
+
+    def accesses():
+        for vpn in vpns:
+            entry, _ = cache.access(int(vpn))
+            entry.record_fault(False)
+
+    benchmark(accesses)
+
+
+def test_dram_install_throughput(benchmark):
+    vpns = list(np.random.default_rng(1).integers(0, 600, size=1000))
+
+    def installs():
+        dram = DramDirectory(gpu_id=0, capacity_frames=256)
+        for vpn in vpns:
+            dram.install(int(vpn))
+
+    benchmark(installs)
+
+
+def test_engine_accesses_per_second(benchmark):
+    """End-to-end simulation throughput on the ST workload under GRIT."""
+    config = SystemConfig()
+
+    def run():
+        trace = make_workload("st", scale=0.1)
+        return Engine(config, trace, make_policy("grit")).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.counters.accesses > 0

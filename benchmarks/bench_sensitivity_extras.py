@@ -1,0 +1,28 @@
+"""Extra sensitivity studies: eviction policy and counter threshold.
+
+Both extend the paper's fixed substrate choices (LRU eviction, Volta's
+256-access counter threshold) to show the reproduction's conclusions do
+not hinge on them.
+"""
+
+from benchmarks.conftest import regenerate
+
+
+def test_extension_eviction_policy(benchmark):
+    figure = regenerate(benchmark, "extension_eviction_policy")
+    # GRIT beats on-touch under every replacement policy.
+    for row in ("lru", "fifo", "random"):
+        assert figure.cell(row, "grit") > 1.0
+        # ... and stays at or above uniform duplication.
+        assert figure.cell(row, "grit") > figure.cell(row, "duplication") * 0.9
+
+
+def test_sensitivity_counter_threshold(benchmark):
+    figure = regenerate(benchmark, "sensitivity_counter_threshold")
+    for row in figure.rows:
+        assert figure.cell(row, "grit") > 1.0
+    # Very low thresholds make AC migrate eagerly (on-touch-like);
+    # its behaviour must move monotonically-ish with the threshold
+    # somewhere in the sweep rather than being flat.
+    values = [figure.cell(row, "access_counter") for row in figure.rows]
+    assert max(values) - min(values) > 0.01

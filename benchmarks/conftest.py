@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper figure end to end (workload
+generation + simulation sweep + aggregation) and prints the regenerated
+rows so the run log doubles as the reproduction report.  Scale is
+controlled with REPRO_BENCH_SCALE (default 0.2: every mechanism is
+exercised, a full `pytest benchmarks/` finishes in minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.figures import run_figure
+from repro.harness.report import format_figure
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+@pytest.fixture
+def fresh_runner() -> ExperimentRunner:
+    """Uncached runner so the benchmark times real simulation work."""
+    return ExperimentRunner(scale=BENCH_SCALE)
+
+
+def regenerate(benchmark, name: str) -> "FigureData":
+    """Benchmark one figure regeneration and print its rows."""
+    figure = benchmark.pedantic(
+        lambda: run_figure(name, ExperimentRunner(scale=BENCH_SCALE)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_figure(figure))
+    return figure

@@ -1,0 +1,64 @@
+"""Section IV-style workload characterization, without simulation.
+
+Reproduces the paper's motivation analysis for any registered workload:
+the private/shared and read/read-write splits (Figures 4 and 9), the
+PC-shared vs all-shared classification of shared pages (Figure 5), and
+the neighboring-page attribute agreement that justifies
+Neighboring-Aware Prediction (Figures 6-8).
+
+Usage::
+
+    python examples/characterize_workload.py [workload] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import make_workload
+from repro.analysis import (
+    attribute_map,
+    build_timeline,
+    classify_shared_pages,
+    sharing_summary,
+)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "st"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+    trace = make_workload(workload, scale=scale)
+
+    print(f"=== {workload}: {trace.total_accesses:,} accesses over "
+          f"{trace.footprint_pages:,} pages ===\n")
+
+    summary = sharing_summary(trace)
+    print("Sharing (Figure 4):")
+    print(f"  private pages   {summary.private_page_fraction:6.1%}")
+    print(f"  shared pages    {summary.shared_page_fraction:6.1%}")
+    print(f"  accesses to private pages {summary.private_access_fraction:6.1%}")
+    print("\nRead/write (Figure 9):")
+    print(f"  read-only pages {summary.read_page_fraction:6.1%}")
+    print(f"  accesses to read-only pages {summary.read_access_fraction:6.1%}")
+
+    timeline = build_timeline(trace, num_intervals=32)
+    classes = classify_shared_pages(timeline)
+    total = len(classes["pc_shared"]) + len(classes["all_shared"])
+    print("\nShared-page behaviour over time (Figure 5):")
+    print(f"  PC-shared pages  {len(classes['pc_shared']):6d}")
+    print(f"  all-shared pages {len(classes['all_shared']):6d}")
+    if total:
+        print(f"  PC fraction      {len(classes['pc_shared']) / total:6.1%}")
+
+    amap = attribute_map(trace, num_intervals=20)
+    print("\nNeighboring-page attribute agreement (Figures 6-8):")
+    print(f"  private/shared axis {amap.neighbor_agreement(amap.sharing):6.1%}")
+    print(f"  read/read-write axis {amap.neighbor_agreement(amap.read_write):6.1%}")
+    print(
+        "\nHigh agreement is what lets GRIT's Neighboring-Aware "
+        "Prediction pre-set scheme bits for adjacent pages."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Driving the simulator with an external trace file.
+
+Round-trips a trace through the on-disk ``.npz`` format — the interface
+any external tool (a profiler, another simulator, a custom script) uses
+to feed this library — then compares placement policies on it.  As the
+"external tool" this script synthesizes a two-phase trace by hand with
+raw numpy, without using the built-in generators.
+
+Usage::
+
+    python examples/external_trace.py [path.npz]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import make_policy, simulate
+from repro.config import BASELINE_CONFIG
+from repro.workloads.base import WorkloadTrace
+from repro.workloads.trace_io import load_trace, save_trace
+
+NUM_GPUS = 4
+PAGES = 256
+
+
+def build_external_trace() -> WorkloadTrace:
+    """What an external tool would produce: raw per-GPU VPN arrays."""
+    rng = np.random.default_rng(2024)
+    streams = []
+    shared = np.arange(0, PAGES // 4)          # hot read-shared table
+    for gpu in range(NUM_GPUS):
+        private = np.arange(                    # per-GPU scratch
+            PAGES // 2 + gpu * 32, PAGES // 2 + (gpu + 1) * 32
+        )
+        phase1 = np.repeat(rng.choice(shared, size=700), 4)  # lookups
+        phase2 = np.repeat(private, 40)                 # scratch sweeps
+        vpns = np.concatenate([phase1, phase2]).astype(np.int64)
+        writes = np.concatenate(
+            [
+                np.zeros(len(phase1), dtype=bool),      # reads
+                rng.random(len(phase2)) < 0.5,          # read-modify-write
+            ]
+        )
+        streams.append((vpns, writes))
+    return WorkloadTrace(
+        name="external_demo",
+        num_gpus=NUM_GPUS,
+        footprint_pages=PAGES,
+        streams=streams,
+        metadata={"source": "examples/external_trace.py"},
+    )
+
+
+def main() -> None:
+    path = (
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else tempfile.mktemp(suffix=".npz", prefix="external_trace_")
+    )
+    save_trace(build_external_trace(), path)
+    print(f"wrote external trace to {path}")
+
+    trace = load_trace(path)
+    print(
+        f"loaded: {trace.total_accesses:,} accesses over "
+        f"{trace.footprint_pages} pages on {trace.num_gpus} GPUs\n"
+    )
+    baseline = None
+    for name in ("on_touch", "access_counter", "duplication", "grit"):
+        result = simulate(BASELINE_CONFIG, load_trace(path), make_policy(name))
+        if baseline is None:
+            baseline = result
+        print(
+            f"  {name:<16} {result.speedup_over(baseline):5.2f}x "
+            f"(faults {result.counters.total_faults:,})"
+        )
+    print(
+        "\nThe shared lookup table wants duplication; the read-write "
+        "scratch wants on-touch — GRIT mixes both, which is why it "
+        "tracks the best of the uniform schemes here."
+    )
+
+
+if __name__ == "__main__":
+    main()

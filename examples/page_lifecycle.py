@@ -1,0 +1,79 @@
+"""Tracing one page's lifecycle through the event log.
+
+Attaches a structured event log to a simulation and replays everything
+that happened to the most eventful page: faults, migrations,
+duplications, collapses, evictions, and — under GRIT — scheme changes.
+This is the simulated-behaviour counterpart of the paper's Figure 5/10
+per-page timelines.
+
+Usage::
+
+    python examples/page_lifecycle.py [workload] [policy] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro import make_policy, make_workload
+from repro.config import BASELINE_CONFIG
+from repro.constants import Scheme
+from repro.sim import Engine
+from repro.stats.events import EventKind, EventLog
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "st"
+    policy = sys.argv[2] if len(sys.argv) > 2 else "grit"
+    scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+
+    log = EventLog()
+    trace = make_workload(workload, scale=scale)
+    engine = Engine(
+        BASELINE_CONFIG, trace, make_policy(policy), event_log=log
+    )
+    result = engine.run()
+
+    print(f"{workload} under {policy}: {len(log):,} events\n")
+    print("Event totals:")
+    for kind, count in sorted(log.counts().items()):
+        if count:
+            print(f"  {kind:<18} {count:>8,}")
+
+    # Pick the page with the most events and replay its story.
+    tallies = Counter(event.vpn for event in log)
+    if not tallies:
+        print("\nNo events logged (nothing faulted).")
+        return
+    vpn, events = tallies.most_common(1)[0]
+    print(f"\nBusiest page: vpn {vpn} ({events} events).  Lifecycle:")
+    shown = 0
+    for event in log.page_history(vpn):
+        if shown >= 25:
+            print("  ... (truncated)")
+            break
+        detail = ""
+        if event.kind is EventKind.MIGRATION:
+            src = "host" if event.gpu < 0 else f"GPU{event.gpu}"
+            detail = f"{src} -> GPU{event.detail}"
+        elif event.kind is EventKind.SCHEME_CHANGE:
+            detail = f"-> {Scheme(event.detail).short_name}"
+        elif event.kind is EventKind.WRITE_COLLAPSE:
+            detail = f"{event.detail} holders invalidated"
+        elif event.kind in (EventKind.LOCAL_FAULT, EventKind.PROTECTION_FAULT):
+            detail = f"by GPU{event.gpu}"
+        print(
+            f"  {event.kind.value:<18} {detail:<28}"
+            f" {event.cycles:>7,} cycles"
+        )
+        shown += 1
+
+    print(
+        f"\nRun total: {result.total_cycles:,} cycles, "
+        f"{result.counters.total_faults:,} faults."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: compare page placement schemes on one workload.
+
+Runs GEMM on the baseline 4-GPU system under every uniform placement
+scheme plus GRIT and the Ideal bound, and prints the paper-style
+normalized performance table.
+
+Usage::
+
+    python examples/quickstart.py [workload] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import make_policy, make_workload, simulate
+from repro.config import BASELINE_CONFIG
+
+POLICIES = ["on_touch", "access_counter", "duplication", "grit", "ideal"]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "gemm"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
+
+    print(f"Simulating {workload!r} on {BASELINE_CONFIG.num_gpus} GPUs")
+    print(f"(page size {BASELINE_CONFIG.page_size} B, scale {scale})\n")
+
+    baseline = None
+    rows = []
+    for name in POLICIES:
+        trace = make_workload(workload, scale=scale)
+        result = simulate(BASELINE_CONFIG, trace, make_policy(name))
+        if baseline is None:
+            baseline = result
+        rows.append((name, result))
+
+    header = (
+        f"{'policy':<16} {'cycles':>14} {'speedup':>8} "
+        f"{'faults':>8} {'migrations':>11} {'collapses':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, result in rows:
+        print(
+            f"{name:<16} {result.total_cycles:>14,} "
+            f"{result.speedup_over(baseline):>7.2f}x "
+            f"{result.counters.total_faults:>8} "
+            f"{result.counters.migrations:>11} "
+            f"{result.counters.write_collapses:>10}"
+        )
+
+    grit = dict(rows)["grit"]
+    print("\nGRIT scheme usage (share of L2-TLB-missing accesses):")
+    for scheme, fraction in grit.counters.scheme_usage_fractions().items():
+        print(f"  {scheme:>3}: {fraction:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Sensitivity sweeps: fault threshold, GPU count, and page size.
+
+Reproduces the Section VI-B studies as one script: GRIT's speedup over
+on-touch as a function of the fault threshold (Figure 21), the number of
+GPUs (Figures 22-24), and the page size (Figure 25's mechanism at a
+reduced fold).
+
+Usage::
+
+    python examples/sensitivity_sweep.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.experiment import ExperimentRunner, PAPER_APPS, geometric_mean
+
+
+def sweep(runner: ExperimentRunner, label: str, **overrides: object) -> float:
+    speedups = [
+        runner.speedup(app, "grit", "on_touch", **overrides)
+        for app in PAPER_APPS
+    ]
+    mean = geometric_mean(speedups)
+    print(f"  {label:<24} {mean:5.2f}x over on-touch")
+    return mean
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    runner = ExperimentRunner(scale=scale)
+
+    print("Fault threshold (Figure 21; paper peaks at 4):")
+    results = {
+        threshold: sweep(
+            runner, f"threshold={threshold}", fault_threshold=threshold
+        )
+        for threshold in (2, 4, 8, 16)
+    }
+    best = max(results, key=results.get)
+    print(f"  -> best threshold here: {best}\n")
+
+    print("GPU count (Figures 22-24; same input size per count):")
+    for gpus in (2, 4, 8, 16):
+        sweep(runner, f"{gpus} GPUs", num_gpus=gpus)
+    print()
+
+    print("Page size (Figure 25's false-sharing effect):")
+    sweep(runner, "4 KB pages")
+    sweep(
+        runner,
+        "64 KB pages, 4x input",
+        page_size=16 * 4096,
+        scale=max(1.0, scale * 4),
+    )
+    print(
+        "\nLarger pages merge pages with different attributes, which "
+        "forces GRIT toward access-counter migration for mixed pages."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""GRIT reproduction: fine-grained dynamic page placement for multi-GPUs.
+
+A trace-driven reproduction of *GRIT: Enhancing Multi-GPU Performance
+with Fine-Grained Dynamic Page Placement* (HPCA 2024): the GRIT
+mechanism (Fault-Aware Initiator, PA-Table/PA-Cache, Neighboring-Aware
+Prediction), the three uniform placement schemes it competes with, the
+comparator systems (Griffin, GPS, Trans-FW, first-touch, tree
+prefetching), the multi-GPU UVM substrate they all run on, workload
+generators for the paper's eight applications, and a harness that
+regenerates every evaluation figure.
+
+Quickstart::
+
+    from repro import make_policy, make_workload, simulate
+    from repro.config import BASELINE_CONFIG
+
+    trace = repro.make_workload("gemm", num_gpus=4)
+    base = simulate(BASELINE_CONFIG, trace, make_policy("on_touch"))
+    grit = simulate(BASELINE_CONFIG, make_workload("gemm"), make_policy("grit"))
+    print(f"GRIT speedup: {grit.speedup_over(base):.2f}x")
+"""
+
+from repro.config import BASELINE_CONFIG, GritConfig, LatencyModel, SystemConfig
+from repro.constants import GroupBits, Scheme
+from repro.policies import available_policies, make_policy
+from repro.sim import SimulationResult, simulate
+from repro.workloads import available_workloads, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE_CONFIG",
+    "GritConfig",
+    "LatencyModel",
+    "SystemConfig",
+    "GroupBits",
+    "Scheme",
+    "available_policies",
+    "make_policy",
+    "SimulationResult",
+    "simulate",
+    "available_workloads",
+    "make_workload",
+    "__version__",
+]

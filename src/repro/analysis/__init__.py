@@ -1,0 +1,18 @@
+"""Trace characterization: the Section IV figures' data."""
+
+from repro.analysis.attributes import AttributeMap, attribute_map
+from repro.analysis.characterize import (
+    build_timeline,
+    classify_shared_pages,
+    page_interval_profile,
+    sharing_summary,
+)
+
+__all__ = [
+    "AttributeMap",
+    "attribute_map",
+    "build_timeline",
+    "classify_shared_pages",
+    "page_interval_profile",
+    "sharing_summary",
+]

@@ -1,0 +1,132 @@
+"""Workload characterization (Section IV-B).
+
+These functions consume traces directly — no simulation needed — using a
+round-robin merge of the per-GPU streams as the time axis (a stand-in
+for the paper's one-million-cycle sampling intervals).
+
+* :func:`sharing_summary` — the Figure 4 / Figure 9 splits.
+* :func:`build_timeline` — per-interval per-page per-GPU tallies.
+* :func:`page_interval_profile` — one page's access distribution over
+  time (Figures 5 and 10).
+* :func:`classify_shared_pages` — PC-shared vs all-shared (Figure 5's
+  two categories).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.stats.sharing import PageAccessLedger, SharingSummary
+from repro.stats.timeline import IntervalTimeline
+from repro.workloads.base import WorkloadTrace
+
+
+def _merged_accesses(
+    trace: WorkloadTrace,
+) -> Iterator[Tuple[int, int, int, bool]]:
+    """Yield ``(time, gpu, vpn, is_write)`` in round-robin merge order."""
+    streams = [
+        (vpns.tolist(), writes.tolist()) for vpns, writes in trace.streams
+    ]
+    lengths = [len(vpns) for vpns, _ in streams]
+    time = 0
+    for index in range(max(lengths, default=0)):
+        for gpu, (vpns, writes) in enumerate(streams):
+            if index < lengths[gpu]:
+                yield time, gpu, vpns[index], writes[index]
+                time += 1
+
+
+def sharing_summary(trace: WorkloadTrace) -> SharingSummary:
+    """Whole-run private/shared and read/read-write splits (Figs 4, 9)."""
+    ledger = PageAccessLedger()
+    for gpu, vpn, is_write in trace.iter_all():
+        ledger.record(gpu, vpn, is_write)
+    return ledger.summary()
+
+
+def build_timeline(
+    trace: WorkloadTrace, num_intervals: int = 50
+) -> IntervalTimeline:
+    """Bucket the merged trace into ``num_intervals`` equal intervals."""
+    if num_intervals < 1:
+        raise ValueError("need at least one interval")
+    total = trace.total_accesses
+    interval_length = max(1, -(-total // num_intervals))
+    timeline = IntervalTimeline(trace.num_gpus, interval_length)
+    for time, gpu, vpn, is_write in _merged_accesses(trace):
+        timeline.record(time, gpu, vpn, is_write)
+    return timeline
+
+
+def page_interval_profile(
+    timeline: IntervalTimeline, vpn: int
+) -> List[Dict[str, object]]:
+    """One page's per-interval GPU and read/write distribution.
+
+    Each row holds the interval id, per-GPU access shares, and the
+    read/write counts — the data behind Figures 5 and 10.
+    """
+    rows: List[Dict[str, object]] = []
+    for interval, sample in enumerate(timeline.page_timeline(vpn)):
+        if sample is None:
+            rows.append(
+                {
+                    "interval": interval,
+                    "accesses": 0,
+                    "per_gpu": tuple(0.0 for _ in range(timeline.num_gpus)),
+                    "reads": 0,
+                    "writes": 0,
+                }
+            )
+            continue
+        total = sample.reads + sample.writes
+        rows.append(
+            {
+                "interval": interval,
+                "accesses": total,
+                "per_gpu": tuple(
+                    count / total for count in sample.per_gpu_accesses
+                ),
+                "reads": sample.reads,
+                "writes": sample.writes,
+            }
+        )
+    return rows
+
+
+def classify_shared_pages(
+    timeline: IntervalTimeline,
+    dominance: float = 0.75,
+) -> Dict[str, List[int]]:
+    """Split shared pages into PC-shared and all-shared (Figure 5).
+
+    A page is *PC-shared* when, in (almost) every interval where it is
+    touched, a single GPU dominates its accesses — different GPUs in
+    different intervals.  It is *all-shared* when multiple GPUs access
+    it within the same intervals.
+    """
+    pc_shared: List[int] = []
+    all_shared: List[int] = []
+    for vpn in timeline.touched_pages():
+        touchers_union = 0
+        dominated_intervals = 0
+        active_intervals = 0
+        for sample in timeline.page_timeline(vpn):
+            if sample is None:
+                continue
+            active_intervals += 1
+            total = sample.reads + sample.writes
+            peak = max(sample.per_gpu_accesses)
+            for gpu, count in enumerate(sample.per_gpu_accesses):
+                if count:
+                    touchers_union |= 1 << gpu
+            if total and peak / total >= dominance:
+                dominated_intervals += 1
+        if bin(touchers_union).count("1") <= 1:
+            continue  # private page: not shared at all
+        if active_intervals and dominated_intervals / active_intervals >= 0.8:
+            pc_shared.append(vpn)
+        else:
+            all_shared.append(vpn)
+    return {"pc_shared": pc_shared, "all_shared": all_shared}

@@ -1,0 +1,75 @@
+"""Time-resolved scheme occupancy from a simulation event log.
+
+Figure 19 reports GRIT's scheme usage aggregated over a whole run; this
+module resolves it over time — how many pages carried each scheme's PTE
+bits as the run progressed — by replaying SCHEME_CHANGE events from an
+attached :class:`~repro.stats.events.EventLog`.  Useful for watching
+GRIT converge (on-touch melting into duplication/counter modes) and for
+spotting scheme ping-pong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.constants import Scheme
+from repro.stats.events import EventKind, EventLog
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeOccupancy:
+    """Scheme population after the i-th scheme-change event."""
+
+    event_index: int
+    counts: Dict[Scheme, int]
+
+    def fraction(self, scheme: Scheme) -> float:
+        """Share of the dynamic page population using the scheme."""
+        total = sum(self.counts.values())
+        return self.counts[scheme] / total if total else 0.0
+
+
+def scheme_occupancy_timeline(
+    log: EventLog,
+    initial_scheme: Scheme = Scheme.ON_TOUCH,
+    samples: int = 20,
+) -> List[SchemeOccupancy]:
+    """Replay scheme changes and sample the page-scheme population.
+
+    Pages enter the population at their first scheme-change event (with
+    ``initial_scheme`` before it); pages that never change scheme never
+    appear, so the timeline shows the *dynamic* subset — the pages GRIT
+    actually acted on.
+    """
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    changes = log.filter(kind=EventKind.SCHEME_CHANGE)
+    if not changes:
+        return []
+    page_scheme: Dict[int, Scheme] = {}
+    counts = {scheme: 0 for scheme in Scheme}
+    timeline: List[SchemeOccupancy] = []
+    stride = max(1, len(changes) // samples)
+    for index, event in enumerate(changes):
+        new_scheme = Scheme(event.detail)
+        previous = page_scheme.get(event.vpn)
+        if previous is None:
+            counts[initial_scheme] += 1
+            previous = initial_scheme
+        counts[previous] -= 1
+        counts[new_scheme] += 1
+        page_scheme[event.vpn] = new_scheme
+        if index % stride == 0 or index == len(changes) - 1:
+            timeline.append(
+                SchemeOccupancy(event_index=index, counts=dict(counts))
+            )
+    return timeline
+
+
+def flip_counts(log: EventLog) -> Dict[int, int]:
+    """Scheme changes per page — large values reveal ping-pong pages."""
+    tallies: Dict[int, int] = {}
+    for event in log.filter(kind=EventKind.SCHEME_CHANGE):
+        tallies[event.vpn] = tallies.get(event.vpn, 0) + 1
+    return tallies

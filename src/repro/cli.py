@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show registered workloads, policies, and figures.
+* ``run`` — simulate one (workload, policy) pair and print the summary.
+* ``figure`` — regenerate paper figures (text / JSON / CSV, optional
+  disk cache).
+* ``sweep`` — tabulate a workload x policy matrix (optionally
+  process-parallel).
+* ``report`` — write the full markdown reproduction report (+ SVG
+  charts).
+* ``characterize`` — print a workload's sharing/RW characterization.
+* ``dump-trace`` — export a generated trace as ``.npz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import sharing_summary
+from repro.config import SystemConfig
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.figures import FIGURES, run_figure
+from repro.harness.report import format_figure, format_table
+from repro.policies import available_policies, make_policy
+from repro.sim import simulate
+from repro.workloads import available_workloads, make_workload
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GRIT reproduction: trace-driven multi-GPU page placement",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, policies, and figures")
+
+    run = sub.add_parser("run", help="simulate one workload under one policy")
+    run.add_argument("workload", choices=available_workloads())
+    run.add_argument("policy", choices=available_policies())
+    run.add_argument("--gpus", type=int, default=4)
+    run.add_argument("--scale", type=float, default=0.3)
+    run.add_argument("--page-size", type=int, default=4096)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("name", choices=[*sorted(FIGURES), "all"])
+    fig.add_argument("--scale", type=float, default=0.3)
+    fig.add_argument(
+        "--format",
+        choices=["text", "json", "csv"],
+        default="text",
+        help="output format (text table, JSON, or CSV)",
+    )
+    fig.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist simulation results under DIR and reuse them",
+    )
+
+    char = sub.add_parser("characterize", help="trace characterization")
+    char.add_argument("workload", choices=available_workloads())
+    char.add_argument("--gpus", type=int, default=4)
+    char.add_argument("--scale", type=float, default=0.3)
+
+    report = sub.add_parser(
+        "report", help="regenerate every figure into a markdown report"
+    )
+    report.add_argument("--output", default="REPORT.md")
+    report.add_argument("--scale", type=float, default=0.25)
+    report.add_argument(
+        "--charts",
+        metavar="DIR",
+        default=None,
+        help="also write an SVG bar chart per figure into DIR",
+    )
+    report.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persist simulation results under DIR and reuse them",
+    )
+
+    dump = sub.add_parser(
+        "dump-trace", help="generate a workload trace and save it as .npz"
+    )
+    dump.add_argument("workload", choices=available_workloads())
+    dump.add_argument("output")
+    dump.add_argument("--gpus", type=int, default=4)
+    dump.add_argument("--scale", type=float, default=0.3)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a workload x policy matrix and tabulate it"
+    )
+    sweep.add_argument(
+        "--workloads",
+        default="all",
+        help="comma-separated workload names, or 'all' for Table II",
+    )
+    sweep.add_argument(
+        "--policies",
+        default="on_touch,access_counter,duplication,grit",
+        help="comma-separated policy names",
+    )
+    sweep.add_argument("--gpus", type=int, default=4)
+    sweep.add_argument("--scale", type=float, default=0.3)
+    sweep.add_argument(
+        "--baseline",
+        default="on_touch",
+        help="policy the table is normalized to",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel simulation workers",
+    )
+    sweep.add_argument(
+        "--metric",
+        choices=["speedup", "cycles", "faults"],
+        default="speedup",
+    )
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print("workloads:", ", ".join(available_workloads()))
+    print("policies: ", ", ".join(available_policies()))
+    print("figures:  ", ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SystemConfig(num_gpus=args.gpus, page_size=args.page_size)
+    trace = make_workload(args.workload, num_gpus=args.gpus, scale=args.scale)
+    result = simulate(config, trace, make_policy(args.policy))
+    rows = {
+        key: [value] for key, value in result.summary().items()
+    }
+    print(format_table(["value"], rows, row_header="metric"))
+    return 0
+
+
+def _build_runner(scale: float, cache_dir: str | None) -> ExperimentRunner:
+    if cache_dir:
+        from repro.harness.cache import DiskCachedRunner
+
+        return DiskCachedRunner(cache_dir, scale=scale)
+    return ExperimentRunner(scale=scale)
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness.serialize import figure_to_csv, figure_to_json
+
+    runner = _build_runner(args.scale, args.cache)
+    names = sorted(FIGURES) if args.name == "all" else [args.name]
+    for name in names:
+        figure = run_figure(name, runner)
+        if args.format == "json":
+            print(figure_to_json(figure))
+        elif args.format == "csv":
+            print(figure_to_csv(figure), end="")
+        else:
+            print(format_figure(figure))
+            print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.reproduce import generate_report
+
+    runner = _build_runner(args.scale, args.cache)
+    text = generate_report(
+        scale=args.scale, runner=runner, charts_dir=args.charts
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_dump_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.trace_io import save_trace
+
+    trace = make_workload(args.workload, num_gpus=args.gpus, scale=args.scale)
+    save_trace(trace, args.output)
+    print(
+        f"wrote {args.output}: {trace.total_accesses:,} accesses, "
+        f"{trace.footprint_pages:,} pages, {trace.num_gpus} GPUs"
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    trace = make_workload(args.workload, num_gpus=args.gpus, scale=args.scale)
+    summary = sharing_summary(trace)
+    rows = {
+        "total_pages": [summary.total_pages],
+        "total_accesses": [summary.total_accesses],
+        "private_page_fraction": [summary.private_page_fraction],
+        "shared_page_fraction": [summary.shared_page_fraction],
+        "private_access_fraction": [summary.private_access_fraction],
+        "shared_access_fraction": [summary.shared_access_fraction],
+        "read_page_fraction": [summary.read_page_fraction],
+        "read_write_page_fraction": [summary.read_write_page_fraction],
+        "read_access_fraction": [summary.read_access_fraction],
+        "read_write_access_fraction": [summary.read_write_access_fraction],
+    }
+    print(format_table(["value"], rows, row_header="metric"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.experiment import PAPER_APPS, ExperimentRunner
+    from repro.harness.parallel import warm_runner_parallel
+
+    workloads = (
+        list(PAPER_APPS)
+        if args.workloads == "all"
+        else [name.strip() for name in args.workloads.split(",") if name.strip()]
+    )
+    policies = [
+        name.strip() for name in args.policies.split(",") if name.strip()
+    ]
+    if args.baseline not in policies:
+        policies = [args.baseline, *policies]
+    runner = ExperimentRunner(scale=args.scale)
+    keys = [
+        runner.key(workload, policy, num_gpus=args.gpus)
+        for workload in workloads
+        for policy in policies
+    ]
+    if args.workers > 1:
+        warm_runner_parallel(runner, keys, workers=args.workers)
+    rows = {}
+    for workload in workloads:
+        base = runner.run(runner.key(workload, args.baseline, num_gpus=args.gpus))
+        cells = []
+        for policy in policies:
+            result = runner.run(
+                runner.key(workload, policy, num_gpus=args.gpus)
+            )
+            if args.metric == "speedup":
+                cells.append(result.speedup_over(base))
+            elif args.metric == "cycles":
+                cells.append(result.total_cycles)
+            else:
+                cells.append(result.counters.total_faults)
+        rows[workload] = cells
+    print(format_table(policies, rows, row_header=f"{args.metric} @{args.gpus}g"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "dump-trace":
+        return _cmd_dump_trace(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

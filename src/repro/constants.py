@@ -1,0 +1,150 @@
+"""Architectural constants shared across the GRIT reproduction.
+
+Values mirror Table I, Table IV, and Table V of the paper where the paper
+pins them down; everything else is a documented modeling choice (see
+DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Base (small) page size in bytes — the paper's default configuration.
+PAGE_SIZE_4K = 4 * 1024
+
+#: Large page size evaluated in Section VI-B3.
+PAGE_SIZE_2M = 2 * 1024 * 1024
+
+#: Access counters operate at a 64 KB page-group granularity (Section II-B2).
+ACCESS_COUNTER_GROUP_BYTES = 64 * 1024
+
+#: Static remote-access threshold that triggers counter-based migration
+#: (256 remote accesses, NVIDIA Volta default cited by the paper).
+ACCESS_COUNTER_THRESHOLD = 256
+
+#: Default fault threshold of the Fault-Aware Initiator (Section V-B).
+DEFAULT_FAULT_THRESHOLD = 4
+
+#: Logical node id used for the host (CPU) in ownership fields.
+HOST_NODE = -1
+
+
+class Scheme(enum.IntEnum):
+    """Page placement schemes, encoded as the PTE scheme bits of Table IV.
+
+    The integer values are exactly the paper's two scheme bits, so a PTE
+    round-trip through :mod:`repro.memsys.pte` preserves them.
+    """
+
+    ON_TOUCH = 0b01
+    ACCESS_COUNTER = 0b10
+    DUPLICATION = 0b11
+
+    @property
+    def short_name(self) -> str:
+        """Two-letter abbreviation used in the paper's figures (OT/AC/D)."""
+        return _SCHEME_SHORT_NAMES[self]
+
+
+_SCHEME_SHORT_NAMES = {
+    Scheme.ON_TOUCH: "OT",
+    Scheme.ACCESS_COUNTER: "AC",
+    Scheme.DUPLICATION: "D",
+}
+
+
+class GroupBits(enum.IntEnum):
+    """Neighboring-aware page-group sizes, encoded per Table V."""
+
+    SINGLE = 0b00
+    GROUP_8 = 0b01
+    GROUP_64 = 0b10
+    GROUP_512 = 0b11
+
+    @property
+    def page_count(self) -> int:
+        """Number of 4 KB pages covered by a group of this size."""
+        return _GROUP_PAGE_COUNTS[self]
+
+    @classmethod
+    def for_page_count(cls, count: int) -> "GroupBits":
+        """Inverse of :attr:`page_count`; raises for unsupported sizes."""
+        for bits, pages in _GROUP_PAGE_COUNTS.items():
+            if pages == count:
+                return bits
+        raise ValueError(f"no group encoding for {count} pages")
+
+
+_GROUP_PAGE_COUNTS = {
+    GroupBits.SINGLE: 1,
+    GroupBits.GROUP_8: 8,
+    GroupBits.GROUP_64: 64,
+    GroupBits.GROUP_512: 512,
+}
+
+#: Promotion ladder used by Neighboring-Aware Prediction (Section V-D):
+#: singles combine 8-at-a-time into 8-page groups, then 64, then 512.
+GROUP_LADDER = (
+    GroupBits.SINGLE,
+    GroupBits.GROUP_8,
+    GroupBits.GROUP_64,
+    GroupBits.GROUP_512,
+)
+
+#: Fan-out between consecutive rungs of the ladder (8 smaller groups form
+#: the next larger group).
+GROUP_FANOUT = 8
+
+
+class EvictionPolicy(enum.Enum):
+    """DRAM victim selection when a full memory takes another page.
+
+    Table I's experiments use LRU; FIFO and seeded RANDOM exist for the
+    replacement-policy ablation.
+    """
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+class AccessType(enum.IntEnum):
+    """Memory access kinds carried by workload traces."""
+
+    READ = 0
+    WRITE = 1
+
+
+class FaultKind(enum.IntEnum):
+    """UVM fault kinds observed by the Fault-Aware Initiator."""
+
+    #: Translation missing from the local page table.
+    LOCAL_PAGE_FAULT = 0
+    #: Write hit a read-only (duplicated) translation.
+    PAGE_PROTECTION_FAULT = 1
+
+
+class LatencyCategory(enum.IntEnum):
+    """The six page-handling latency categories of Figure 3."""
+
+    LOCAL = 0
+    HOST = 1
+    PAGE_MIGRATION = 2
+    REMOTE_ACCESS = 3
+    PAGE_DUPLICATION = 4
+    WRITE_COLLAPSE = 5
+
+    @property
+    def label(self) -> str:
+        """Figure 3 legend label for this category."""
+        return _CATEGORY_LABELS[self]
+
+
+_CATEGORY_LABELS = {
+    LatencyCategory.LOCAL: "Local",
+    LatencyCategory.HOST: "Host",
+    LatencyCategory.PAGE_MIGRATION: "Page-migration",
+    LatencyCategory.REMOTE_ACCESS: "Remote-access",
+    LatencyCategory.PAGE_DUPLICATION: "Page-duplication",
+    LatencyCategory.WRITE_COLLAPSE: "Write-collapse",
+}

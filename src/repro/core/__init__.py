@@ -1,0 +1,29 @@
+"""GRIT core: the paper's contribution (Section V).
+
+* :mod:`repro.core.pa_table` — software Page Attribute Table.
+* :mod:`repro.core.pa_cache` — hardware Page Attribute Cache.
+* :mod:`repro.core.initiator` — Fault-Aware Initiator.
+* :mod:`repro.core.decision` — scheme decision mechanism (Table III).
+* :mod:`repro.core.neighbor` — Neighboring-Aware Prediction.
+* :mod:`repro.core.grit` — the assembled GRIT mechanism.
+"""
+
+from repro.core.decision import POLICY_PREFERENCE, decide_scheme
+from repro.core.grit import GritMechanism, SchemeChange
+from repro.core.initiator import FaultAwareInitiator, InitiatorOutcome
+from repro.core.neighbor import NeighboringAwarePredictor
+from repro.core.pa_cache import PACache
+from repro.core.pa_table import PAEntry, PATable
+
+__all__ = [
+    "POLICY_PREFERENCE",
+    "decide_scheme",
+    "GritMechanism",
+    "SchemeChange",
+    "FaultAwareInitiator",
+    "InitiatorOutcome",
+    "NeighboringAwarePredictor",
+    "PACache",
+    "PAEntry",
+    "PATable",
+]

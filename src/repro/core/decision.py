@@ -1,0 +1,34 @@
+"""Scheme decision mechanism (Table III and Figure 13).
+
+Table III's full policy-preference matrix is reproduced as data for
+documentation and analysis.  The *mechanism* GRIT actually implements is
+the collapsed form of Figure 13: a page that reaches the fault threshold
+is by construction shared (private pages fault once, migrate, and never
+fault again), so the decision only inspects the PA entry's read/write
+bit — all-read shared pages switch to duplication, written shared pages
+switch to access-counter migration.
+"""
+
+from __future__ import annotations
+
+from repro.constants import Scheme
+
+#: Table III — candidate schemes per (read/write, sharing) page class.
+#: Values are tuples of acceptable schemes, first entry preferred.
+POLICY_PREFERENCE: dict[tuple[str, str], tuple[Scheme, ...]] = {
+    ("read", "private"): (Scheme.ON_TOUCH, Scheme.DUPLICATION),
+    ("read", "pc-shared"): (Scheme.ON_TOUCH, Scheme.DUPLICATION),
+    ("read", "all-shared"): (Scheme.DUPLICATION,),
+    ("read-write", "private"): (Scheme.ON_TOUCH,),
+    ("read-write", "pc-shared"): (Scheme.ON_TOUCH, Scheme.ACCESS_COUNTER),
+    ("read-write", "all-shared"): (Scheme.ACCESS_COUNTER,),
+}
+
+
+def decide_scheme(rw_bit: int) -> Scheme:
+    """Pick the new scheme for a page that hit the fault threshold.
+
+    Figure 13: read-only shared pages duplicate; read-write shared pages
+    use access-counter migration.
+    """
+    return Scheme.ACCESS_COUNTER if rw_bit else Scheme.DUPLICATION

@@ -1,0 +1,87 @@
+"""The hardware Page Attribute Cache (PA-Cache, Section V-C).
+
+A 64-entry, 4-way set-associative cache in front of the PA-Table.  The
+set index is the lower 4 bits of the VPN; the tag is the remaining upper
+bits (the paper's "virtual page tag").  Replacement is LRU, the write
+policy is write-allocate + write-back: entries are updated in the cache
+and only reach the PA-Table when evicted (or deleted on scheme change).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.core.pa_table import PAEntry, PATable
+from repro.errors import ConfigError
+
+
+class PACache:
+    """Set-associative write-back cache over :class:`PATable`."""
+
+    def __init__(self, backing: PATable, entries: int = 64, ways: int = 4) -> None:
+        if entries <= 0 or ways <= 0 or entries % ways:
+            raise ConfigError("PA-Cache entries must be a multiple of ways")
+        sets = entries // ways
+        if sets & (sets - 1):
+            raise ConfigError("PA-Cache set count must be a power of two")
+        self.backing = backing
+        self.ways = ways
+        self._set_mask = sets - 1
+        self._sets: List[OrderedDict[int, PAEntry]] = [
+            OrderedDict() for _ in range(sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.table_fills = 0
+        self.writebacks = 0
+
+    def _set_for(self, vpn: int) -> OrderedDict[int, PAEntry]:
+        return self._sets[vpn & self._set_mask]
+
+    def access(self, vpn: int) -> tuple[PAEntry, bool]:
+        """Look up (allocating as needed) the entry for a faulting page.
+
+        Returns ``(entry, cache_hit)``.  On a miss the PA-Table is
+        consulted: a found entry is brought into the cache
+        (write-allocate); otherwise a fresh entry is registered directly
+        in the cache, to be written back on eviction.
+        """
+        entries = self._set_for(vpn)
+        entry = entries.get(vpn)
+        if entry is not None:
+            entries.move_to_end(vpn)
+            self.hits += 1
+            return entry, True
+        self.misses += 1
+        entry = self.backing.take(vpn)
+        if entry is not None:
+            self.table_fills += 1
+        else:
+            entry = PAEntry(vpn=vpn)
+        self._fill(vpn, entry)
+        return entry, False
+
+    def _fill(self, vpn: int, entry: PAEntry) -> None:
+        entries = self._set_for(vpn)
+        if len(entries) >= self.ways:
+            _, victim = entries.popitem(last=False)
+            self.backing.insert(victim)
+            self.writebacks += 1
+        entries[vpn] = entry
+
+    def delete(self, vpn: int) -> None:
+        """Drop an entry from cache *and* table (scheme change fired)."""
+        self._set_for(vpn).pop(vpn, None)
+        self.backing.remove(vpn)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def flush_to_table(self) -> None:
+        """Write every cached entry back (used by tests/inspection)."""
+        for entries in self._sets:
+            while entries:
+                _, victim = entries.popitem(last=False)
+                self.backing.insert(victim)
+                self.writebacks += 1

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the GRIT reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or inconsistent with its spec."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class PolicyError(ReproError):
+    """A placement policy was misused or produced an invalid decision."""
+
+
+class UnknownWorkloadError(ReproError, KeyError):
+    """Requested workload name is not registered."""
+
+
+class UnknownPolicyError(ReproError, KeyError):
+    """Requested policy name is not registered."""

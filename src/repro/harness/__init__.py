@@ -1,0 +1,15 @@
+"""Experiment harness: run matrices and regenerate every paper figure."""
+
+from repro.harness.experiment import ExperimentRunner, RunKey
+from repro.harness.figures import FIGURES, FigureData, run_figure
+from repro.harness.report import format_figure, format_table
+
+__all__ = [
+    "ExperimentRunner",
+    "RunKey",
+    "FIGURES",
+    "FigureData",
+    "run_figure",
+    "format_figure",
+    "format_table",
+]

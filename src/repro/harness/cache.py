@@ -1,0 +1,125 @@
+"""Disk-backed result cache for cross-process reuse.
+
+The in-process :class:`ExperimentRunner` cache dies with the process;
+this cache persists result *summaries* (cycles, counters, breakdown —
+everything the figures consume) as one JSON file per run key, so
+repeated CLI invocations and benchmark reruns skip simulation.
+
+Keys include a fingerprint of the base configuration, so changing any
+latency constant or Table I parameter invalidates the cache
+automatically.  Stored entries are rehydrated into
+:class:`SimulationResult` objects with empty ``details`` marked
+``from_cache`` — figure code only reads counters/breakdown/cycles, all
+of which round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict
+
+from repro.config import SystemConfig
+from repro.constants import LatencyCategory, Scheme
+from repro.harness.experiment import ExperimentRunner, RunKey
+from repro.sim.result import SimulationResult
+from repro.stats.counters import EventCounters
+from repro.stats.latency import LatencyBreakdown
+
+
+def config_fingerprint(config: SystemConfig) -> str:
+    """Stable hash of every configuration value."""
+    payload = json.dumps(config.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _key_filename(key: RunKey, fingerprint: str) -> str:
+    payload = json.dumps(
+        dataclasses.asdict(key), sort_keys=True
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+    return f"{key.workload}-{key.policy}-{digest}-{fingerprint}.json"
+
+
+def _serialize(result: SimulationResult) -> Dict[str, object]:
+    return {
+        "workload": result.workload,
+        "policy": result.policy,
+        "total_cycles": result.total_cycles,
+        "per_gpu_cycles": list(result.per_gpu_cycles),
+        "num_gpus": result.num_gpus,
+        "page_size": result.page_size,
+        "counters": result.counters.as_dict(),
+        "scheme_usage": {
+            scheme.name: count
+            for scheme, count in result.counters.scheme_usage.items()
+        },
+        "breakdown": {
+            category.name: result.breakdown.cycles(category)
+            for category in LatencyCategory
+        },
+    }
+
+
+def _deserialize(data: Dict[str, object]) -> SimulationResult:
+    counters = EventCounters()
+    stored = dict(data["counters"])
+    stored.pop("total_faults", None)  # derived property
+    for name, value in stored.items():
+        setattr(counters, name, value)
+    counters.scheme_usage = {
+        Scheme[name]: count
+        for name, count in data["scheme_usage"].items()
+    }
+    breakdown = LatencyBreakdown()
+    for name, cycles in data["breakdown"].items():
+        breakdown.charge(LatencyCategory[name], cycles)
+    return SimulationResult(
+        workload=data["workload"],
+        policy=data["policy"],
+        total_cycles=data["total_cycles"],
+        per_gpu_cycles=list(data["per_gpu_cycles"]),
+        counters=counters,
+        breakdown=breakdown,
+        num_gpus=data["num_gpus"],
+        page_size=data["page_size"],
+        details={"from_cache": True},
+    )
+
+
+class DiskCachedRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that persists results on disk."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        base_config: SystemConfig | None = None,
+        scale: float = 0.3,
+    ) -> None:
+        super().__init__(base_config=base_config, scale=scale)
+        self.cache_dir = str(cache_dir)
+        os.makedirs(self.cache_dir, exist_ok=True)
+        self._fingerprint = config_fingerprint(self.base_config)
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    def run(self, key: RunKey) -> SimulationResult:
+        """Serve from memory, then disk, then simulate (and persist)."""
+        if key in self._cache:
+            return self._cache[key]
+        path = os.path.join(
+            self.cache_dir, _key_filename(key, self._fingerprint)
+        )
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                result = _deserialize(json.load(handle))
+            self._cache[key] = result
+            self.disk_hits += 1
+            return result
+        result = super().run(key)
+        self.disk_misses += 1
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_serialize(result), handle)
+        return result

@@ -1,0 +1,170 @@
+"""Dependency-free SVG bar charts for regenerated figures.
+
+matplotlib is not part of this library's footprint, so reports render
+their own SVG: grouped vertical bars, one group per figure row, one bar
+per column — the same visual grammar as the paper's evaluation figures.
+Only numeric cells are plotted; rows/columns with non-numeric cells are
+skipped.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.figures import FigureData
+
+#: Flat, print-safe fill colors cycled across columns.
+PALETTE = (
+    "#4878d0",
+    "#ee854a",
+    "#6acc64",
+    "#d65f5f",
+    "#956cb4",
+    "#8c613c",
+    "#dc7ec0",
+    "#797979",
+)
+
+_MARGIN_LEFT = 60
+_MARGIN_BOTTOM = 70
+_MARGIN_TOP = 40
+_BAR_WIDTH = 18
+_GROUP_GAP = 24
+_PLOT_HEIGHT = 260
+
+
+def _numeric_cells(
+    figure: FigureData,
+) -> Tuple[List[str], Dict[str, List[float]]]:
+    """Rows and columns of ``figure`` that are fully numeric."""
+    keep_cols = [
+        index
+        for index in range(len(figure.columns))
+        if any(
+            len(values) > index and isinstance(values[index], (int, float))
+            for values in figure.rows.values()
+        )
+    ]
+    columns = [figure.columns[i] for i in keep_cols]
+    rows: Dict[str, List[float]] = {}
+    for label, values in figure.rows.items():
+        cells = [values[i] for i in keep_cols if i < len(values)]
+        if len(cells) == len(keep_cols) and all(
+            isinstance(cell, (int, float)) for cell in cells
+        ):
+            rows[label] = [float(cell) for cell in cells]
+    return columns, rows
+
+
+def render_svg(
+    figure: FigureData,
+    baseline: float | None = 1.0,
+    max_rows: int = 12,
+) -> str:
+    """Render a grouped bar chart of ``figure`` as an SVG string.
+
+    ``baseline`` draws a dashed reference line (the paper's figures are
+    normalized to 1.0); pass None to omit it.
+    """
+    columns, rows = _numeric_cells(figure)
+    if not columns or not rows:
+        raise ValueError(f"figure {figure.name} has no numeric cells")
+    labels = list(rows)[:max_rows]
+    peak = max(
+        max(rows[label]) for label in labels
+    )
+    if baseline is not None:
+        peak = max(peak, baseline)
+    peak = peak or 1.0
+
+    group_width = len(columns) * _BAR_WIDTH
+    width = _MARGIN_LEFT + len(labels) * (group_width + _GROUP_GAP) + 20
+    height = _MARGIN_TOP + _PLOT_HEIGHT + _MARGIN_BOTTOM
+    floor = _MARGIN_TOP + _PLOT_HEIGHT
+
+    def y_of(value: float) -> float:
+        """Pixel y-coordinate of a data value."""
+        return floor - (value / peak) * _PLOT_HEIGHT
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">'
+    )
+    parts.append(
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-size="13">{html.escape(figure.title)}</text>'
+    )
+    # Axes.
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{_MARGIN_TOP}" '
+        f'x2="{_MARGIN_LEFT}" y2="{floor}" stroke="#333"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_LEFT}" y1="{floor}" x2="{width - 10}" '
+        f'y2="{floor}" stroke="#333"/>'
+    )
+    # Y ticks at quarters of the peak.
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        value = peak * fraction
+        y = y_of(value)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT - 4}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT}" y2="{y:.1f}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{value:.2g}</text>'
+        )
+    # Baseline reference.
+    if baseline is not None and baseline <= peak:
+        y = y_of(baseline)
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" x2="{width - 10}" '
+            f'y2="{y:.1f}" stroke="#999" stroke-dasharray="4 3"/>'
+        )
+    # Bars.
+    for group_index, label in enumerate(labels):
+        base_x = _MARGIN_LEFT + _GROUP_GAP / 2 + group_index * (
+            group_width + _GROUP_GAP
+        )
+        for bar_index, value in enumerate(rows[label]):
+            x = base_x + bar_index * _BAR_WIDTH
+            y = y_of(value)
+            color = PALETTE[bar_index % len(PALETTE)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{_BAR_WIDTH - 3}" '
+                f'height="{max(0.0, floor - y):.1f}" fill="{color}">'
+                f"<title>{html.escape(label)} / "
+                f"{html.escape(columns[bar_index])}: {value:.3f}</title>"
+                f"</rect>"
+            )
+        parts.append(
+            f'<text x="{base_x + group_width / 2:.1f}" y="{floor + 14}" '
+            f'text-anchor="middle">{html.escape(label)}</text>'
+        )
+    # Legend.
+    legend_y = floor + 34
+    legend_x = _MARGIN_LEFT
+    for bar_index, column in enumerate(columns):
+        color = PALETTE[bar_index % len(PALETTE)]
+        parts.append(
+            f'<rect x="{legend_x}" y="{legend_y - 9}" width="10" '
+            f'height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 14}" y="{legend_y}">'
+            f"{html.escape(column)}</text>"
+        )
+        legend_x += 14 + 7 * len(column) + 18
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def save_svg(
+    figure: FigureData, path: str, baseline: float | None = 1.0
+) -> None:
+    """Render and write the chart to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_svg(figure, baseline=baseline))

@@ -1,0 +1,94 @@
+"""Process-parallel experiment sweeps.
+
+Figure regeneration is embarrassingly parallel across (workload, policy,
+config) runs; this module fans a list of :class:`RunKey` out over a
+process pool and returns the same ``{key: SimulationResult}`` mapping a
+sequential runner would produce.  Each simulation is deterministic given
+its key, so parallel and sequential sweeps agree exactly.
+
+Usage::
+
+    from repro.harness.parallel import run_keys_parallel
+
+    keys = [runner.key(app, policy) for app in PAPER_APPS
+            for policy in ("on_touch", "grit")]
+    results = run_keys_parallel(keys, workers=4)
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Dict, Iterable, Sequence
+
+from repro.harness.experiment import ExperimentRunner, RunKey
+from repro.sim.result import SimulationResult
+
+
+def _run_one(key: RunKey) -> SimulationResult:
+    """Worker entry point: simulate one key in a fresh runner."""
+    return ExperimentRunner(scale=key.scale).run(key)
+
+
+def run_keys_parallel(
+    keys: Sequence[RunKey],
+    workers: int | None = None,
+) -> Dict[RunKey, SimulationResult]:
+    """Simulate every key, fanning out across processes.
+
+    ``workers`` defaults to the CPU count (capped by the number of
+    keys).  With ``workers=1`` the sweep runs inline, which is also the
+    fallback on platforms without process support.
+    """
+    unique = list(dict.fromkeys(keys))
+    if workers is None:
+        workers = min(len(unique), os.cpu_count() or 1) or 1
+    if workers <= 1 or len(unique) <= 1:
+        runner_cache: Dict[RunKey, SimulationResult] = {}
+        for key in unique:
+            runner_cache[key] = _run_one(key)
+        return runner_cache
+    results: Dict[RunKey, SimulationResult] = {}
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers
+    ) as pool:
+        for key, result in zip(unique, pool.map(_run_one, unique)):
+            results[key] = result
+    return results
+
+
+def warm_runner_parallel(
+    runner: ExperimentRunner,
+    keys: Iterable[RunKey],
+    workers: int | None = None,
+) -> ExperimentRunner:
+    """Pre-populate a runner's cache using a process pool.
+
+    After warming, every figure function that only touches ``keys``
+    serves from cache — the pattern for fast whole-report regeneration:
+
+        runner = ExperimentRunner(scale=0.25)
+        warm_runner_parallel(runner, all_keys)
+        write_report("REPORT.md", runner=runner)
+    """
+    results = run_keys_parallel(list(keys), workers=workers)
+    runner._cache.update(results)
+    return runner
+
+
+def headline_keys(runner: ExperimentRunner) -> list[RunKey]:
+    """The run set behind Figures 1/17/18/19 — the usual warm-up."""
+    from repro.harness.experiment import PAPER_APPS
+
+    policies = (
+        "on_touch",
+        "access_counter",
+        "duplication",
+        "grit",
+        "ideal",
+    )
+    return [
+        runner.key(app, policy)
+        for app in PAPER_APPS
+        for policy in policies
+    ]

@@ -1,0 +1,49 @@
+"""Plain-text rendering of regenerated figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.figures import FigureData
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str], rows: Dict[str, List[object]], row_header: str = ""
+) -> str:
+    """Render an aligned text table."""
+    header = [row_header, *columns]
+    body = [
+        [label, *(_format_cell(value) for value in values)]
+        for label, values in rows.items()
+    ]
+    widths = [
+        max(len(line[i]) for line in [header, *body])
+        for i in range(len(header))
+    ]
+    lines = []
+    lines.append(
+        "  ".join(cell.ljust(width) for cell, width in zip(header, widths))
+    )
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureData) -> str:
+    """Render one regenerated figure with its paper reference."""
+    parts = [f"== {figure.name}: {figure.title} =="]
+    parts.append(format_table(figure.columns, figure.rows))
+    if figure.notes:
+        parts.append(f"note: {figure.notes}")
+    if figure.paper:
+        parts.append(f"paper: {figure.paper}")
+    return "\n".join(parts)

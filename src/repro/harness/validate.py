@@ -1,0 +1,87 @@
+"""Internal-consistency validation of simulation results.
+
+A :class:`SimulationResult` carries overlapping information (counters,
+latency breakdown, per-GPU clocks, link traffic); these checks catch
+accounting bugs — a mechanic that forgot to count, a category charged
+twice — without needing ground truth.  Run them in tests, or on any
+result you don't trust:
+
+    from repro.harness.validate import validate_result
+    issues = validate_result(result)
+    assert not issues, issues
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constants import LatencyCategory
+from repro.sim.result import SimulationResult
+
+
+def validate_result(result: SimulationResult) -> List[str]:
+    """Return a list of consistency violations (empty when clean)."""
+    issues: List[str] = []
+    counters = result.counters
+
+    if counters.accesses != counters.reads + counters.writes:
+        issues.append("accesses != reads + writes")
+    if counters.total_faults != (
+        counters.local_page_faults + counters.protection_faults
+    ):
+        issues.append("total_faults mismatch")
+    if result.total_cycles != max(result.per_gpu_cycles, default=0):
+        issues.append("total_cycles is not the max per-GPU clock")
+    if any(clock < 0 for clock in result.per_gpu_cycles):
+        issues.append("negative per-GPU clock")
+
+    if counters.accesses and counters.l2_tlb_misses > counters.accesses:
+        issues.append("more L2 TLB misses than accesses")
+    if counters.local_page_faults > counters.l2_tlb_misses:
+        issues.append("more local faults than L2 TLB misses")
+
+    usage_total = sum(counters.scheme_usage.values())
+    if usage_total != counters.l2_tlb_misses:
+        issues.append("scheme usage tallies != L2 TLB misses")
+
+    breakdown = result.breakdown
+    if breakdown.total < 0:
+        issues.append("negative breakdown total")
+    # Fault-driven categories require faults (page-migration can also
+    # come from counter-triggered migrations and prefetch installs).
+    if (
+        breakdown.cycles(LatencyCategory.WRITE_COLLAPSE) > 0
+        and counters.write_collapses == 0
+        and counters.scheme_changes == 0
+    ):
+        issues.append("write-collapse latency without collapses")
+    if (
+        breakdown.cycles(LatencyCategory.HOST) > 0
+        and counters.total_faults == 0
+        and counters.migrations == 0
+        and result.policy != "ideal"
+    ):
+        issues.append("host latency without faults")
+
+    if counters.migrations and result.details.get("pcie_bytes", 1) == 0:
+        if result.details.get("nvlink_bytes", 0) == 0:
+            issues.append("migrations without any link traffic")
+
+    if counters.write_collapses and result.policy == "gps":
+        issues.append("GPS must never collapse")
+
+    evictions = result.details.get("per_gpu_evictions")
+    if evictions is not None and sum(evictions) != counters.evictions:
+        issues.append("eviction counter disagrees with DRAM directories")
+
+    return issues
+
+
+def assert_valid(result: SimulationResult) -> None:
+    """Raise AssertionError with the violation list if any."""
+    issues = validate_result(result)
+    if issues:
+        raise AssertionError(
+            f"inconsistent result for {result.workload}/{result.policy}: "
+            + "; ".join(issues)
+        )

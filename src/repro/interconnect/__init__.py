@@ -1,0 +1,6 @@
+"""Interconnect models: NVLink mesh between GPUs, PCIe to the host."""
+
+from repro.interconnect.link import Link
+from repro.interconnect.topology import Topology
+
+__all__ = ["Link", "Topology"]

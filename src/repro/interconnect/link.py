@@ -1,0 +1,46 @@
+"""Latency + bandwidth link model.
+
+A transfer costs a fixed per-message latency plus a serialization
+component (bytes / bandwidth).  Links also track cumulative traffic so
+experiments can report interconnect pressure (used by the GPS
+oversubscription analysis in Section VI-C2).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Link:
+    """Point-to-point (or shared-bus) link with occupancy accounting."""
+
+    def __init__(
+        self, name: str, latency: int, bytes_per_cycle: float
+    ) -> None:
+        if latency < 0:
+            raise ValueError("link latency must be non-negative")
+        if bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        self.name = name
+        self.latency = latency
+        self.bytes_per_cycle = bytes_per_cycle
+        self.bytes_transferred = 0
+        self.messages = 0
+
+    def transfer_cycles(self, size_bytes: int) -> int:
+        """Cycles to move ``size_bytes`` over this link, with accounting."""
+        if size_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        self.bytes_transferred += size_bytes
+        self.messages += 1
+        return self.latency + math.ceil(size_bytes / self.bytes_per_cycle)
+
+    def message_cycles(self) -> int:
+        """Cycles for a payload-free control message."""
+        self.messages += 1
+        return self.latency
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters."""
+        self.bytes_transferred = 0
+        self.messages = 0

@@ -1,0 +1,74 @@
+"""System topology: all-to-all NVLink between GPUs, PCIe to the host.
+
+DGX-style systems connect every GPU pair with NVLink and each GPU to the
+CPU over PCIe (Figure 2).  We model one logical NVLink per direction
+pair and one PCIe link per GPU; the engine asks the topology for
+transfer costs and the topology routes to the right link.
+"""
+
+from __future__ import annotations
+
+from repro.config import LatencyModel
+from repro.constants import HOST_NODE
+from repro.errors import ConfigError
+from repro.interconnect.link import Link
+
+
+class Topology:
+    """All-to-all GPU fabric plus per-GPU host links."""
+
+    def __init__(self, num_gpus: int, latency: LatencyModel) -> None:
+        if num_gpus < 1:
+            raise ConfigError("topology needs at least one GPU")
+        self.num_gpus = num_gpus
+        self._nvlinks: dict[tuple[int, int], Link] = {}
+        for a in range(num_gpus):
+            for b in range(a + 1, num_gpus):
+                self._nvlinks[(a, b)] = Link(
+                    name=f"nvlink-{a}-{b}",
+                    latency=latency.nvlink_latency,
+                    bytes_per_cycle=latency.nvlink_bytes_per_cycle,
+                )
+        self._pcie: list[Link] = [
+            Link(
+                name=f"pcie-{g}",
+                latency=latency.pcie_latency,
+                bytes_per_cycle=latency.pcie_bytes_per_cycle,
+            )
+            for g in range(num_gpus)
+        ]
+
+    def _nvlink(self, src: int, dst: int) -> Link:
+        key = (src, dst) if src < dst else (dst, src)
+        try:
+            return self._nvlinks[key]
+        except KeyError:
+            raise ConfigError(
+                f"no NVLink between GPU {src} and GPU {dst}"
+            ) from None
+
+    def link_between(self, src: int, dst: int) -> Link:
+        """Resolve the link between two nodes (HOST_NODE for the CPU)."""
+        if src == dst:
+            raise ConfigError("no link from a node to itself")
+        if src == HOST_NODE:
+            return self._pcie[dst]
+        if dst == HOST_NODE:
+            return self._pcie[src]
+        return self._nvlink(src, dst)
+
+    def transfer(self, src: int, dst: int, size_bytes: int) -> int:
+        """Cycles to move a payload between two nodes."""
+        return self.link_between(src, dst).transfer_cycles(size_bytes)
+
+    def control_message(self, src: int, dst: int) -> int:
+        """Cycles for a payload-free message (fault, invalidation, ack)."""
+        return self.link_between(src, dst).message_cycles()
+
+    def total_nvlink_bytes(self) -> int:
+        """Total GPU-to-GPU traffic moved so far."""
+        return sum(link.bytes_transferred for link in self._nvlinks.values())
+
+    def total_pcie_bytes(self) -> int:
+        """Total host-GPU traffic moved so far."""
+        return sum(link.bytes_transferred for link in self._pcie)

@@ -1,0 +1,25 @@
+"""Memory-system substrate: addresses, TLBs, page tables, DRAM, counters."""
+
+from repro.memsys.address import AddressSpace
+from repro.memsys.access_counter import AccessCounterFile
+from repro.memsys.dram import DramDirectory, EvictionResult
+from repro.memsys.page import PageInfo
+from repro.memsys.page_table import CentralPageTable, LocalPageTable
+from repro.memsys.pte import PageTableEntry
+from repro.memsys.tlb import SetAssociativeTLB, TLBHierarchy
+from repro.memsys.walker import PageWalkCache, PageTableWalker
+
+__all__ = [
+    "AddressSpace",
+    "AccessCounterFile",
+    "DramDirectory",
+    "EvictionResult",
+    "PageInfo",
+    "CentralPageTable",
+    "LocalPageTable",
+    "PageTableEntry",
+    "SetAssociativeTLB",
+    "TLBHierarchy",
+    "PageWalkCache",
+    "PageTableWalker",
+]

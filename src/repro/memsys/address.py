@@ -1,0 +1,85 @@
+"""Virtual address helpers.
+
+Workload traces are expressed as virtual page numbers (VPNs) of the
+baseline 4 KB page.  :class:`AddressSpace` converts between byte
+addresses, 4 KB VPNs, configured-page-size VPNs (for the 2 MB large-page
+study of Section VI-B3), access-counter groups, and neighboring-aware
+page groups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import PAGE_SIZE_4K
+from repro.errors import ConfigError
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{what} must be a positive power of two")
+    return value.bit_length() - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class AddressSpace:
+    """Address arithmetic for a given configured page size.
+
+    The simulator's unit of placement is the *configured* page
+    (``page_size``); traces always arrive at 4 KB granularity so the same
+    trace can drive both the 4 KB and 2 MB configurations.
+    """
+
+    page_size: int = PAGE_SIZE_4K
+
+    def __post_init__(self) -> None:
+        shift = _log2_exact(self.page_size, "page size")
+        if self.page_size < PAGE_SIZE_4K:
+            raise ConfigError("page size must be at least 4 KB")
+        object.__setattr__(self, "_page_shift", shift)
+        base_shift = _log2_exact(PAGE_SIZE_4K, "base page size")
+        object.__setattr__(self, "_fold_shift", shift - base_shift)
+
+    @property
+    def page_shift(self) -> int:
+        """log2 of the configured page size."""
+        return self._page_shift  # type: ignore[attr-defined]
+
+    @property
+    def base_pages_per_page(self) -> int:
+        """4 KB pages folded into one configured page."""
+        return 1 << self._fold_shift  # type: ignore[attr-defined]
+
+    def vpn_of_address(self, address: int) -> int:
+        """Configured-page VPN containing a byte address."""
+        return address >> self._page_shift  # type: ignore[attr-defined]
+
+    def address_of_vpn(self, vpn: int) -> int:
+        """First byte address of a configured page."""
+        return vpn << self._page_shift  # type: ignore[attr-defined]
+
+    def fold_base_vpn(self, base_vpn: int) -> int:
+        """Map a 4 KB VPN to the configured-page VPN containing it."""
+        return base_vpn >> self._fold_shift  # type: ignore[attr-defined]
+
+    def counter_group(self, vpn: int, group_bytes: int) -> int:
+        """Access-counter group id for a configured-page VPN."""
+        pages = max(1, group_bytes // self.page_size)
+        return vpn // pages
+
+    @staticmethod
+    def group_base(vpn: int, group_pages: int) -> int:
+        """Base VPN of the aligned neighbor group containing ``vpn``.
+
+        Implements the paper's base-page formula
+        ``VPN_base = VPN - (VPN % GroupSize)`` (Section V-D).
+        """
+        if group_pages <= 0:
+            raise ConfigError("group size must be positive")
+        return vpn - (vpn % group_pages)
+
+    @staticmethod
+    def group_members(vpn: int, group_pages: int) -> range:
+        """VPN range of the aligned group containing ``vpn``."""
+        base = AddressSpace.group_base(vpn, group_pages)
+        return range(base, base + group_pages)

@@ -1,0 +1,110 @@
+"""Per-GPU DRAM directory: frame budget, residency, and eviction.
+
+Table I sizes GPU memory to 70% of the application's footprint, so
+placement schemes that keep many copies (duplication, GPS) run out of
+frames and evict — the oversubscription behaviour Sections II-B3 and
+VI-C2 lean on.  The directory tracks which VPNs occupy frames and picks
+victims (LRU by default, FIFO and seeded-random available for the
+replacement-policy ablation); the engine charges the transfer/write-back
+costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from collections import OrderedDict
+
+from repro.constants import EvictionPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class EvictionResult:
+    """Outcome of making room for one page."""
+
+    evicted_vpn: int
+    was_dirty: bool
+
+
+class DramDirectory:
+    """Tracks page residency in one GPU's DRAM."""
+
+    def __init__(
+        self,
+        gpu_id: int,
+        capacity_frames: int,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+        seed: int = 0,
+    ) -> None:
+        if capacity_frames < 1:
+            raise ValueError("DRAM needs at least one frame")
+        self.gpu_id = gpu_id
+        self.capacity = capacity_frames
+        self.policy = policy
+        self._rng = random.Random(seed + gpu_id)
+        self._resident: OrderedDict[int, bool] = OrderedDict()
+        self.evictions = 0
+        self.installs = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._resident
+
+    @property
+    def full(self) -> bool:
+        """True when every frame is occupied."""
+        return len(self._resident) >= self.capacity
+
+    def touch(self, vpn: int) -> None:
+        """Record a data access so LRU ordering tracks recency."""
+        if self.policy is EvictionPolicy.LRU and vpn in self._resident:
+            self._resident.move_to_end(vpn)
+
+    def mark_dirty(self, vpn: int) -> None:
+        """Flag a resident page as modified (write-back on eviction)."""
+        if vpn in self._resident:
+            self._resident[vpn] = True
+            if self.policy is EvictionPolicy.LRU:
+                self._resident.move_to_end(vpn)
+
+    def install(self, vpn: int, dirty: bool = False) -> EvictionResult | None:
+        """Place a page in a frame, evicting a victim if needed.
+
+        Returns the eviction performed to make room, or None if there
+        was a free frame (or the page was already resident).
+        """
+        self.installs += 1
+        if vpn in self._resident:
+            self._resident[vpn] = self._resident[vpn] or dirty
+            if self.policy is EvictionPolicy.LRU:
+                self._resident.move_to_end(vpn)
+            return None
+        evicted = None
+        if len(self._resident) >= self.capacity:
+            victim_vpn = self._pick_victim()
+            victim_dirty = self._resident.pop(victim_vpn)
+            self.evictions += 1
+            evicted = EvictionResult(victim_vpn, victim_dirty)
+        self._resident[vpn] = dirty
+        return evicted
+
+    def _pick_victim(self) -> int:
+        """Choose the frame to free per the configured policy.
+
+        LRU and FIFO both take the OrderedDict's head (LRU refreshes
+        order on touch, FIFO never does, so the head is the right
+        victim for both); RANDOM picks uniformly.
+        """
+        if self.policy is EvictionPolicy.RANDOM:
+            return self._rng.choice(list(self._resident))
+        return next(iter(self._resident))
+
+    def release(self, vpn: int) -> bool:
+        """Free a frame (page migrated away or replica collapsed)."""
+        return self._resident.pop(vpn, None) is not None
+
+    def resident_vpns(self) -> list[int]:
+        """VPNs currently occupying frames."""
+        return list(self._resident)

@@ -1,0 +1,90 @@
+"""Page-table entry bit layout (Figure 14 of the paper).
+
+GRIT repurposes previously-unused PTE bits:
+
+* bits 9-10 — the *scheme bits* selecting the page placement scheme
+  (Table IV: 01 on-touch, 10 access-counter, 11 duplication);
+* bits 52-53 — the *group bits* giving the neighboring-aware group size
+  of the base page (Table V: 00 single, 01 eight, 10 sixty-four,
+  11 five-hundred-twelve pages).
+
+The simulator mostly manipulates decoded :class:`PageInfo` objects, but
+this module provides a faithful pack/unpack of the 64-bit entry so tests
+can assert the layout and so the PA-Table/PTE interplay matches the
+paper's description bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import GroupBits, Scheme
+
+_VALID_BIT = 0
+_US_BIT = 1
+_RW_BIT = 2
+_PWT_BIT = 3
+_PCD_BIT = 4
+_ACCESSED_BIT = 5
+_DIRTY_BIT = 6
+_PAT_BIT = 7
+_GLOBAL_BIT = 8
+_SCHEME_SHIFT = 9
+_SCHEME_MASK = 0b11
+_PFN_SHIFT = 12
+_PFN_MASK = (1 << 40) - 1
+_GROUP_SHIFT = 52
+_GROUP_MASK = 0b11
+_XD_BIT = 63
+
+
+@dataclasses.dataclass
+class PageTableEntry:
+    """Decoded x86-style 4 KB PTE with GRIT's scheme and group bits."""
+
+    pfn: int = 0
+    valid: bool = False
+    writable: bool = False
+    user: bool = True
+    accessed: bool = False
+    dirty: bool = False
+    scheme: Scheme | None = None
+    group: GroupBits = GroupBits.SINGLE
+    no_execute: bool = False
+
+    def encode(self) -> int:
+        """Pack into the 64-bit layout of Figure 14."""
+        word = 0
+        if self.valid:
+            word |= 1 << _VALID_BIT
+        if self.user:
+            word |= 1 << _US_BIT
+        if self.writable:
+            word |= 1 << _RW_BIT
+        if self.accessed:
+            word |= 1 << _ACCESSED_BIT
+        if self.dirty:
+            word |= 1 << _DIRTY_BIT
+        if self.scheme is not None:
+            word |= (int(self.scheme) & _SCHEME_MASK) << _SCHEME_SHIFT
+        word |= (self.pfn & _PFN_MASK) << _PFN_SHIFT
+        word |= (int(self.group) & _GROUP_MASK) << _GROUP_SHIFT
+        if self.no_execute:
+            word |= 1 << _XD_BIT
+        return word
+
+    @classmethod
+    def decode(cls, word: int) -> "PageTableEntry":
+        """Unpack a 64-bit entry produced by :meth:`encode`."""
+        scheme_bits = (word >> _SCHEME_SHIFT) & _SCHEME_MASK
+        return cls(
+            pfn=(word >> _PFN_SHIFT) & _PFN_MASK,
+            valid=bool(word & (1 << _VALID_BIT)),
+            writable=bool(word & (1 << _RW_BIT)),
+            user=bool(word & (1 << _US_BIT)),
+            accessed=bool(word & (1 << _ACCESSED_BIT)),
+            dirty=bool(word & (1 << _DIRTY_BIT)),
+            scheme=Scheme(scheme_bits) if scheme_bits else None,
+            group=GroupBits((word >> _GROUP_SHIFT) & _GROUP_MASK),
+            no_execute=bool(word & (1 << _XD_BIT)),
+        )

@@ -1,0 +1,11 @@
+"""Placement policies: the three uniform schemes, GRIT, and comparators."""
+
+from repro.policies.base import Mechanic, PlacementPolicy
+from repro.policies.registry import available_policies, make_policy
+
+__all__ = [
+    "Mechanic",
+    "PlacementPolicy",
+    "available_policies",
+    "make_policy",
+]

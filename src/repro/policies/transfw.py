@@ -1,0 +1,72 @@
+"""Trans-FW comparator (Li et al., HPCA 2023; Section VI-C3).
+
+Trans-FW short-circuits page-table walks on faults by forwarding
+translations between GPUs, cutting the host fault-service latency.  It
+is orthogonal to what pages get placed where, so it is modelled as a
+fault-service scale factor that can be stacked on another policy —
+the paper evaluates Griffin-DPC + Trans-FW.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import PlacementPolicy
+from repro.policies.griffin import GriffinPolicy
+from repro.policies.grit_policy import GritPolicy
+from repro.uvm.machine import MachineState
+
+
+def apply_transfw(policy: PlacementPolicy) -> PlacementPolicy:
+    """Stack Trans-FW's fault-service reduction onto a policy.
+
+    The scale is taken from the machine's latency model at bind time so
+    a single knob (``transfw_discount``) controls the whole study.
+    """
+    original_bind = policy.bind
+
+    def bind_with_transfw(machine: MachineState) -> None:
+        """Original bind plus the Trans-FW fault-service scale."""
+        original_bind(machine)
+        policy.fault_service_scale = machine.config.latency.transfw_discount
+
+    policy.bind = bind_with_transfw  # type: ignore[method-assign]
+    policy.name = f"{policy.name}_transfw"
+    return policy
+
+
+class GritTransFwPolicy(GritPolicy):
+    """GRIT stacked with Trans-FW (an extension the paper's related-work
+    framing invites: GRIT is orthogonal to fault-service acceleration)."""
+
+    name = "grit_transfw"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.name = "grit_transfw"
+
+    def bind(self, machine: MachineState) -> None:
+        """GRIT bind plus the Trans-FW fault-service scale."""
+        super().bind(machine)
+        self.fault_service_scale = machine.config.latency.transfw_discount
+
+    def describe(self) -> str:
+        """Report-friendly one-liner."""
+        return "GRIT + Trans-FW translation forwarding"
+
+
+class GriffinTransFwPolicy(GriffinPolicy):
+    """Griffin-DPC combined with Trans-FW (the Figure 28 comparator)."""
+
+    name = "griffin_dpc_transfw"
+
+    def __init__(self) -> None:
+        super().__init__(acud=False)
+        self.name = "griffin_dpc_transfw"
+
+    def bind(self, machine: MachineState) -> None:
+        """Griffin bind plus the Trans-FW fault-service scale."""
+        super().bind(machine)
+        self.fault_service_scale = machine.config.latency.transfw_discount
+
+    def describe(self) -> str:
+        """Report-friendly one-liner."""
+        return "Griffin-DPC + Trans-FW translation forwarding"

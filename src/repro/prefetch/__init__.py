@@ -1,0 +1,5 @@
+"""Prefetching add-ons (tree-based neighborhood prefetching)."""
+
+from repro.prefetch.tree import TreePrefetcher
+
+__all__ = ["TreePrefetcher"]

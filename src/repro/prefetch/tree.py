@@ -1,0 +1,119 @@
+"""Tree-based neighborhood prefetching (Ganguly et al.; Section VI-E).
+
+The CUDA driver's prefetcher maintains full binary trees whose leaf
+nodes are 64 KB basic blocks and whose roots correspond to 2 MB regions.
+It tracks, per GPU, how much of each tree node is already resident on
+that GPU; when a GPU's occupancy of a non-leaf node exceeds 50% of the
+node's capacity, the remaining leaf blocks under that node are
+prefetched to the GPU.
+
+With 4 KB pages a leaf is 16 pages and a root spans 512 pages, giving a
+tree of 32 leaves (63 heap-indexed nodes).  Prefetches ride the
+background PCIe queue: they charge no stall cycles but consume frames
+and bandwidth, and only host-resident pages are eligible (the prefetcher
+never steals pages from other GPUs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.uvm.driver import UvmDriver
+
+#: Pages per 2 MB region and per 64 KB leaf block (4 KB base pages).
+REGION_PAGES = 512
+LEAF_PAGES = 16
+NUM_LEAVES = REGION_PAGES // LEAF_PAGES
+#: Heap index of the first leaf (1-indexed full binary tree).
+FIRST_LEAF = NUM_LEAVES
+
+
+class TreePrefetcher:
+    """Per-GPU occupancy trees with >50% node-occupancy triggering."""
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self._driver: UvmDriver | None = None
+        #: (gpu, region) -> heap-array of per-node resident page counts.
+        self._trees: Dict[Tuple[int, int], List[int]] = {}
+        #: (gpu, region) -> nodes that already fired (no re-prefetch).
+        self._fired: Dict[Tuple[int, int], Set[int]] = {}
+        self.prefetched_pages = 0
+
+    def bind(self, driver: UvmDriver) -> None:
+        """Attach to the UVM driver; called by the engine at setup."""
+        self._driver = driver
+
+    def on_install(self, gpu: int, vpn: int) -> None:
+        """Notify that ``vpn`` became resident on ``gpu`` via a fault."""
+        self._account(gpu, vpn)
+        self._maybe_fire(gpu, vpn)
+
+    def _account(self, gpu: int, vpn: int) -> None:
+        region, node = self._locate(vpn)
+        tree = self._tree_for(gpu, region)
+        while node >= 1:
+            tree[node] += 1
+            node //= 2
+
+    @staticmethod
+    def _locate(vpn: int) -> Tuple[int, int]:
+        region = vpn // REGION_PAGES
+        leaf = (vpn % REGION_PAGES) // LEAF_PAGES
+        return region, FIRST_LEAF + leaf
+
+    def _tree_for(self, gpu: int, region: int) -> List[int]:
+        key = (gpu, region)
+        tree = self._trees.get(key)
+        if tree is None:
+            tree = [0] * (2 * NUM_LEAVES)
+            self._trees[key] = tree
+        return tree
+
+    def _maybe_fire(self, gpu: int, vpn: int) -> None:
+        assert self._driver is not None, "prefetcher used before bind()"
+        region, node = self._locate(vpn)
+        tree = self._tree_for(gpu, region)
+        fired = self._fired.setdefault((gpu, region), set())
+        # Walk the ancestors (non-leaf nodes) from the leaf's parent up.
+        node //= 2
+        best: int | None = None
+        while node >= 1:
+            capacity = self._node_capacity(node)
+            if node not in fired and tree[node] > capacity * self.threshold:
+                best = node  # keep climbing: prefer the largest span
+            node //= 2
+        if best is None:
+            return
+        fired.add(best)
+        self._prefetch_span(gpu, region, best, tree)
+
+    @staticmethod
+    def _node_capacity(node: int) -> int:
+        """Pages covered by a heap node.
+
+        A node at depth ``d`` (root is depth 0, ``2^d <= node < 2^(d+1)``)
+        spans ``NUM_LEAVES >> d`` leaves of ``LEAF_PAGES`` pages each.
+        """
+        depth = node.bit_length() - 1
+        return (NUM_LEAVES >> depth) * LEAF_PAGES
+
+    def _prefetch_span(
+        self, gpu: int, region: int, node: int, tree: List[int]
+    ) -> None:
+        """Pull every still-host-resident page under ``node`` to ``gpu``."""
+        assert self._driver is not None
+        depth = node.bit_length() - 1
+        span_leaves = NUM_LEAVES >> depth
+        first_leaf = (node - (1 << depth)) * span_leaves
+        base_vpn = region * REGION_PAGES + first_leaf * LEAF_PAGES
+        for vpn in range(base_vpn, base_vpn + span_leaves * LEAF_PAGES):
+            if self._driver.prefetch_page(gpu, vpn):
+                self.prefetched_pages += 1
+                leaf_node = FIRST_LEAF + (vpn % REGION_PAGES) // LEAF_PAGES
+                climb = leaf_node
+                while climb >= 1:
+                    tree[climb] += 1
+                    climb //= 2

@@ -1,0 +1,279 @@
+"""The trace-driven multi-GPU simulation engine.
+
+Each GPU replays its access stream against its own clock; the engine
+always advances the GPU that is furthest behind, which interleaves the
+streams the way concurrent execution would.  Per access the engine walks
+the translation path (L1 TLB -> L2 TLB -> page-table walk -> fault) and
+charges data-access latency by where the page actually lives; the UVM
+driver handles every fault according to the active placement policy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.constants import HOST_NODE, LatencyCategory
+from repro.errors import SimulationError
+from repro.memsys.address import AddressSpace
+from repro.policies.base import PlacementPolicy
+from repro.sim.result import SimulationResult
+from repro.stats.timeline import IntervalTimeline
+from repro.uvm.driver import UvmDriver
+from repro.uvm.machine import MachineState
+from repro.workloads.base import WorkloadTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.prefetch.tree import TreePrefetcher
+    from repro.stats.events import EventLog
+
+
+class Engine:
+    """Runs one workload trace under one placement policy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        trace: WorkloadTrace,
+        policy: PlacementPolicy,
+        prefetcher: "TreePrefetcher | None" = None,
+        timeline: IntervalTimeline | None = None,
+        event_log: "EventLog | None" = None,
+    ) -> None:
+        if trace.num_gpus != config.num_gpus:
+            raise SimulationError(
+                f"trace built for {trace.num_gpus} GPUs, config has "
+                f"{config.num_gpus}"
+            )
+        self.config = config
+        self.trace = trace
+        self.policy = policy
+        self.prefetcher = prefetcher
+        self.timeline = timeline
+        self.address_space = AddressSpace(config.page_size)
+        footprint = max(
+            1,
+            -(-trace.footprint_pages // self.address_space.base_pages_per_page),
+        )
+        self.machine = MachineState.build(
+            config, footprint, initial_scheme=policy.initial_scheme()
+        )
+        self.machine.event_log = event_log
+        self.driver = UvmDriver(self.machine, policy)
+        if prefetcher is not None:
+            prefetcher.bind(self.driver)
+
+    def run(self) -> SimulationResult:
+        """Replay the whole trace; returns the aggregated result."""
+        machine = self.machine
+        config = self.config
+        latency = config.latency
+        counters = machine.counters
+        breakdown = machine.breakdown
+        central_pt = machine.central_pt
+        driver = self.driver
+        policy = self.policy
+        gps_writes = policy.gps_semantics
+        issue_gap = config.issue_gap
+        fold_shift = self.address_space.base_pages_per_page.bit_length() - 1
+        local_access = latency.scaled_data_access(latency.local_dram_access)
+        # Far *writes* are posted (fire-and-forget stores), so they stall
+        # the pipeline for roughly half of a far read's round trip.
+        remote_access = (
+            latency.scaled_remote_access(),
+            max(1, latency.scaled_remote_access() // 2),
+        )
+        host_access = (
+            latency.scaled_host_remote_access(),
+            max(1, latency.scaled_host_remote_access() // 2),
+        )
+        remote_penalty = tuple(
+            max(0, cost - local_access) for cost in remote_access
+        )
+        host_penalty = tuple(
+            max(0, cost - local_access) for cost in host_access
+        )
+        interval = policy.interval_cycles
+        next_interval = interval if interval else None
+        timeline = self.timeline
+
+        gpus = machine.gpus
+        streams = [
+            (vpns.tolist(), writes.tolist())
+            for vpns, writes in self.trace.streams
+        ]
+        heads = [0] * len(streams)
+        lengths = [len(vpns) for vpns, _ in streams]
+        active = [g for g in range(len(streams)) if lengths[g] > 0]
+
+        while active:
+            # Advance the GPU that is furthest behind.
+            gpu_id = min(active, key=lambda g: gpus[g].clock)
+            node = gpus[gpu_id]
+            now = node.clock
+            if next_interval is not None and now >= next_interval:
+                policy.on_interval(now)
+                next_interval += interval
+            index = heads[gpu_id]
+            base_vpn = streams[gpu_id][0][index]
+            is_write = streams[gpu_id][1][index]
+            vpn = base_vpn >> fold_shift
+            if timeline is not None:
+                timeline.record(now, gpu_id, base_vpn, is_write)
+            counters.record_access(is_write)
+
+            cycles = self._translate_and_access(
+                gpu_id,
+                node,
+                vpn,
+                is_write,
+                now,
+                local_access,
+                remote_access,
+                remote_penalty,
+                host_access,
+                host_penalty,
+                central_pt,
+                counters,
+                breakdown,
+                driver,
+                gps_writes,
+            )
+            node.clock = now + cycles + issue_gap
+
+            heads[gpu_id] = index + 1
+            if heads[gpu_id] >= lengths[gpu_id]:
+                active.remove(gpu_id)
+
+        return self._build_result()
+
+    def _translate_and_access(
+        self,
+        gpu_id: int,
+        node,
+        vpn: int,
+        is_write: bool,
+        now: int,
+        local_access: int,
+        remote_access: tuple[int, int],
+        remote_penalty: tuple[int, int],
+        host_access: tuple[int, int],
+        host_penalty: tuple[int, int],
+        central_pt,
+        counters,
+        breakdown,
+        driver,
+        gps_writes: bool,
+    ) -> int:
+        """One access: translation, faults, data; returns stall cycles.
+
+        The far-access cost pairs are ``(read, write)`` — indexed by the
+        access's ``is_write`` flag — because far writes are posted.
+        """
+        pte, cycles, l2_missed = node.tlbs.lookup(vpn)
+        if l2_missed:
+            walk = node.walker.walk(vpn, now)
+            cycles += walk
+            breakdown.charge(LatencyCategory.LOCAL, walk)
+            counters.record_scheme_usage(central_pt.get(vpn).scheme)
+            pte = node.page_table.lookup(vpn)
+            if pte is None:
+                cycles += driver.handle_local_fault(gpu_id, vpn, is_write)
+                pte = node.page_table.lookup(vpn)
+                if pte is None:
+                    raise SimulationError(
+                        f"fault on vpn {vpn} left GPU {gpu_id} unmapped"
+                    )
+                if self.prefetcher is not None:
+                    self.prefetcher.on_install(gpu_id, vpn)
+            node.tlbs.fill(vpn, pte)
+        if is_write and not pte.writable:
+            cycles += driver.handle_protection_fault(gpu_id, vpn)
+            pte = node.page_table.lookup(vpn)
+            if pte is None or not pte.writable:
+                raise SimulationError(
+                    f"collapse on vpn {vpn} left GPU {gpu_id} unwritable"
+                )
+            node.tlbs.fill(vpn, pte)
+        # Data access: local DRAM, a peer GPU over NVLink, or host
+        # memory over PCIe (counter-tracked pages before migration).
+        location = pte.location
+        if location == gpu_id:
+            cycles += local_access
+            if is_write:
+                node.dram.mark_dirty(vpn)
+            else:
+                node.dram.touch(vpn)
+        elif location == HOST_NODE:
+            cycles += host_access[is_write]
+            breakdown.charge(
+                LatencyCategory.REMOTE_ACCESS, host_penalty[is_write]
+            )
+            cycles += driver.on_remote_access(gpu_id, vpn)
+        else:
+            cycles += remote_access[is_write]
+            breakdown.charge(
+                LatencyCategory.REMOTE_ACCESS, remote_penalty[is_write]
+            )
+            if is_write:
+                self.machine.gpus[location].dram.mark_dirty(vpn)
+            cycles += driver.on_remote_access(gpu_id, vpn)
+        if gps_writes and is_write:
+            cycles += driver.gps_write(gpu_id, vpn)
+        return cycles
+
+    def _build_result(self) -> SimulationResult:
+        machine = self.machine
+        l1_hits = sum(gpu.tlbs.l1.hits for gpu in machine.gpus)
+        l1_misses = sum(gpu.tlbs.l1.misses for gpu in machine.gpus)
+        l2_hits = sum(gpu.tlbs.l2.hits for gpu in machine.gpus)
+        details: dict[str, object] = {
+            "nvlink_bytes": machine.topology.total_nvlink_bytes(),
+            "pcie_bytes": machine.topology.total_pcie_bytes(),
+            "policy_description": self.policy.describe(),
+            "l1_tlb_hit_rate": (
+                l1_hits / (l1_hits + l1_misses) if l1_hits + l1_misses else 0.0
+            ),
+            "l2_tlb_hit_rate": (
+                l2_hits / l1_misses if l1_misses else 0.0
+            ),
+            "page_walks": sum(gpu.walker.walks for gpu in machine.gpus),
+            "walk_cache_hit_rate": self._walk_cache_hit_rate(),
+        }
+        per_gpu_evictions = [gpu.dram.evictions for gpu in machine.gpus]
+        details["per_gpu_evictions"] = per_gpu_evictions
+        machine.counters.evictions = sum(per_gpu_evictions)
+        details["footprint_pages"] = machine.footprint_pages
+        details["fault_imbalance"] = machine.counters.fault_imbalance()
+        return SimulationResult(
+            workload=self.trace.name,
+            policy=self.policy.name,
+            total_cycles=max(gpu.clock for gpu in machine.gpus),
+            per_gpu_cycles=[gpu.clock for gpu in machine.gpus],
+            counters=machine.counters,
+            breakdown=machine.breakdown,
+            num_gpus=self.config.num_gpus,
+            page_size=self.config.page_size,
+            details=details,
+        )
+
+    def _walk_cache_hit_rate(self) -> float:
+        hits = sum(gpu.walker.walk_cache.hits for gpu in self.machine.gpus)
+        misses = sum(
+            gpu.walker.walk_cache.misses for gpu in self.machine.gpus
+        )
+        return hits / (hits + misses) if hits + misses else 0.0
+
+
+def simulate(
+    config: SystemConfig,
+    trace: WorkloadTrace,
+    policy: PlacementPolicy,
+    prefetcher: "TreePrefetcher | None" = None,
+    timeline: IntervalTimeline | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build an :class:`Engine` and run it."""
+    engine = Engine(
+        config, trace, policy, prefetcher=prefetcher, timeline=timeline
+    )
+    return engine.run()

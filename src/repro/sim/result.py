@@ -1,0 +1,58 @@
+"""Simulation results and cross-run comparison helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.stats.counters import EventCounters
+from repro.stats.latency import LatencyBreakdown
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of one (workload, policy, config) simulation."""
+
+    workload: str
+    policy: str
+    #: Execution time: the slowest GPU's finish cycle.
+    total_cycles: int
+    per_gpu_cycles: List[int]
+    counters: EventCounters
+    breakdown: LatencyBreakdown
+    num_gpus: int
+    page_size: int
+    #: Free-form extras (PA-Cache hit rates, link traffic, ...).
+    details: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Relative performance vs a baseline run (paper's normalization:
+        baseline cycles / this run's cycles; >1 means faster)."""
+        if self.total_cycles <= 0:
+            raise ValueError("result has no simulated cycles")
+        return baseline.total_cycles / self.total_cycles
+
+    def fault_ratio_vs(self, baseline: "SimulationResult") -> float:
+        """Total GPU page faults relative to a baseline (Figure 18)."""
+        base = baseline.counters.total_faults
+        if base == 0:
+            return 0.0 if self.counters.total_faults == 0 else float("inf")
+        return self.counters.total_faults / base
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        data: Dict[str, object] = {
+            "workload": self.workload,
+            "policy": self.policy,
+            "total_cycles": self.total_cycles,
+            "num_gpus": self.num_gpus,
+            "page_size": self.page_size,
+        }
+        data.update(self.counters.as_dict())
+        data.update(
+            {
+                f"latency_{label.lower().replace('-', '_')}": cycles
+                for label, cycles in self.breakdown.as_dict().items()
+            }
+        )
+        return data

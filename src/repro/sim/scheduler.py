@@ -1,0 +1,57 @@
+"""Thread-block scheduler model (Section III-B).
+
+The paper's scheduler assigns thread blocks round-robin across the CUs
+of one GPU and only spills to the next GPU when the current one is full,
+which preserves inter-TB locality: consecutive thread blocks (and the
+consecutive data they touch) land on the same GPU.  For trace generation
+that behaviour reduces to *block partitioning* of the TB index space;
+:func:`round_robin_fill` exposes the fill order itself for tests and
+finer-grained generators.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigError
+
+
+def partition_blocks(num_items: int, num_gpus: int) -> List[range]:
+    """Split ``num_items`` contiguous indices into per-GPU chunks.
+
+    Chunks differ by at most one item; earlier GPUs get the larger
+    chunks, matching fill-first-then-spill scheduling.
+    """
+    if num_gpus < 1:
+        raise ConfigError("need at least one GPU")
+    if num_items < 0:
+        raise ConfigError("item count must be non-negative")
+    base = num_items // num_gpus
+    extra = num_items % num_gpus
+    chunks: List[range] = []
+    start = 0
+    for gpu in range(num_gpus):
+        size = base + (1 if gpu < extra else 0)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks
+
+
+def round_robin_fill(
+    num_blocks: int, num_gpus: int, blocks_per_gpu: int
+) -> List[int]:
+    """GPU assignment for each thread block under fill-first scheduling.
+
+    The scheduler keeps dispatching to one GPU until ``blocks_per_gpu``
+    blocks are resident, then moves on; once every GPU is full the
+    pattern wraps (modelling wave-by-wave execution).
+    """
+    if blocks_per_gpu < 1:
+        raise ConfigError("blocks_per_gpu must be positive")
+    if num_gpus < 1:
+        raise ConfigError("need at least one GPU")
+    wave = num_gpus * blocks_per_gpu
+    assignment: List[int] = []
+    for block in range(num_blocks):
+        assignment.append((block % wave) // blocks_per_gpu)
+    return assignment

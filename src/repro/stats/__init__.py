@@ -1,0 +1,13 @@
+"""Measurement infrastructure: latency breakdowns, counters, timelines."""
+
+from repro.stats.counters import EventCounters
+from repro.stats.latency import LatencyBreakdown
+from repro.stats.sharing import PageAccessLedger
+from repro.stats.timeline import IntervalTimeline
+
+__all__ = [
+    "EventCounters",
+    "LatencyBreakdown",
+    "PageAccessLedger",
+    "IntervalTimeline",
+]

@@ -1,0 +1,106 @@
+"""Optional structured event log for fault-path debugging.
+
+When attached to a driver, every fault resolution, migration,
+duplication, collapse, and eviction is appended as an
+:class:`Event` — the raw material for debugging a policy or for
+building Figure-5-style views from *simulated* behaviour rather than
+from the input trace.
+
+Logging is off unless an :class:`EventLog` is installed, so the fast
+path pays only a None check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Iterator, List
+
+
+class EventKind(enum.Enum):
+    """The machine events the log can record."""
+
+    LOCAL_FAULT = "local_fault"
+    PROTECTION_FAULT = "protection_fault"
+    MIGRATION = "migration"
+    DUPLICATION = "duplication"
+    WRITE_COLLAPSE = "write_collapse"
+    EVICTION = "eviction"
+    SCHEME_CHANGE = "scheme_change"
+    PREFETCH = "prefetch"
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """One logged machine event."""
+
+    kind: EventKind
+    vpn: int
+    gpu: int
+    #: Event-specific detail: destination GPU for migrations, new scheme
+    #: value for scheme changes, holders count for collapses, ...
+    detail: int = 0
+    #: Cycles the event charged (0 for background events).
+    cycles: int = 0
+
+
+class EventLog:
+    """Bounded append-only event log."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[Event] = []
+        self.dropped = 0
+
+    def emit(
+        self,
+        kind: EventKind,
+        vpn: int,
+        gpu: int,
+        detail: int = 0,
+        cycles: int = 0,
+    ) -> None:
+        """Append one event (silently dropped past capacity)."""
+        if len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(
+            Event(kind=kind, vpn=vpn, gpu=gpu, detail=detail, cycles=cycles)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def filter(
+        self,
+        kind: EventKind | None = None,
+        vpn: int | None = None,
+        predicate: Callable[[Event], bool] | None = None,
+    ) -> List[Event]:
+        """Select events by kind, page, and/or a custom predicate."""
+        selected = []
+        for event in self._events:
+            if kind is not None and event.kind is not kind:
+                continue
+            if vpn is not None and event.vpn != vpn:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            selected.append(event)
+        return selected
+
+    def counts(self) -> dict[str, int]:
+        """Event tallies by kind."""
+        tallies = {kind.value: 0 for kind in EventKind}
+        for event in self._events:
+            tallies[event.kind.value] += 1
+        return tallies
+
+    def page_history(self, vpn: int) -> List[Event]:
+        """Every logged event touching one page, in order."""
+        return self.filter(vpn=vpn)

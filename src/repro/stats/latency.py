@@ -1,0 +1,69 @@
+"""Page-handling latency breakdown — the six categories of Figure 3.
+
+Every cycle the engine charges for page handling is attributed to one of
+the paper's categories: Local (page-table walk after an L2 TLB miss),
+Host (UVM fault service), Page-migration, Remote-access,
+Page-duplication (duplicate + eviction + re-duplication), and
+Write-collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.constants import LatencyCategory
+
+
+class LatencyBreakdown:
+    """Accumulator of page-handling cycles per category."""
+
+    __slots__ = ("_cycles",)
+
+    def __init__(self) -> None:
+        self._cycles: Dict[LatencyCategory, int] = {
+            category: 0 for category in LatencyCategory
+        }
+
+    def charge(self, category: LatencyCategory, cycles: int) -> None:
+        """Attribute page-handling cycles to one category."""
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self._cycles[category] += cycles
+
+    def cycles(self, category: LatencyCategory) -> int:
+        """Cycles accumulated under one category."""
+        return self._cycles[category]
+
+    @property
+    def total(self) -> int:
+        """All page-handling cycles across categories."""
+        return sum(self._cycles.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Category label -> cycles, in Figure 3's legend order."""
+        return {
+            category.label: self._cycles[category]
+            for category in LatencyCategory
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Category label -> fraction of the total (0 when total is 0)."""
+        total = self.total
+        if total == 0:
+            return {category.label: 0.0 for category in LatencyCategory}
+        return {
+            category.label: self._cycles[category] / total
+            for category in LatencyCategory
+        }
+
+    def merged_with(
+        self, others: Iterable["LatencyBreakdown"]
+    ) -> "LatencyBreakdown":
+        """Sum of this breakdown and ``others`` (per-GPU -> system view)."""
+        merged = LatencyBreakdown()
+        for category in LatencyCategory:
+            merged._cycles[category] = self._cycles[category]
+        for other in others:
+            for category in LatencyCategory:
+                merged._cycles[category] += other._cycles[category]
+        return merged

@@ -1,0 +1,123 @@
+"""Whole-run per-page access ledger.
+
+Backs the Section IV characterization: private vs shared pages (a page
+is *shared* when more than one GPU touched it during the entire run) and
+read vs read-write pages (read-write when it saw at least one write),
+plus the access-weighted versions of both splits (Figures 4 and 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class PageLedgerEntry:
+    """Access tallies for one page."""
+
+    reads: int = 0
+    writes: int = 0
+    toucher_mask: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses to the page."""
+        return self.reads + self.writes
+
+    @property
+    def num_touchers(self) -> int:
+        """Distinct GPUs that accessed the page."""
+        return bin(self.toucher_mask).count("1")
+
+    @property
+    def is_shared(self) -> bool:
+        """More than one GPU touched the page (Figure 4 definition)."""
+        return self.num_touchers > 1
+
+    @property
+    def is_read_write(self) -> bool:
+        """At least one write hit the page (Figure 9 definition)."""
+        return self.writes > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SharingSummary:
+    """The Figure 4 / Figure 9 splits for one workload."""
+
+    private_page_fraction: float
+    shared_page_fraction: float
+    private_access_fraction: float
+    shared_access_fraction: float
+    read_page_fraction: float
+    read_write_page_fraction: float
+    read_access_fraction: float
+    read_write_access_fraction: float
+    total_pages: int
+    total_accesses: int
+
+
+class PageAccessLedger:
+    """Accumulates per-page read/write/toucher tallies for a run."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageLedgerEntry] = {}
+
+    def record(self, gpu: int, vpn: int, is_write: bool) -> None:
+        """Tally one access into the per-page ledger."""
+        entry = self._entries.get(vpn)
+        if entry is None:
+            entry = PageLedgerEntry()
+            self._entries[vpn] = entry
+        if is_write:
+            entry.writes += 1
+        else:
+            entry.reads += 1
+        entry.toucher_mask |= 1 << gpu
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, vpn: int) -> PageLedgerEntry | None:
+        """Tallies for one page, or None if never touched."""
+        return self._entries.get(vpn)
+
+    def summary(self) -> SharingSummary:
+        """Compute the page- and access-weighted private/shared and
+        read/read-write splits."""
+        total_pages = len(self._entries)
+        total_accesses = 0
+        shared_pages = 0
+        shared_accesses = 0
+        rw_pages = 0
+        rw_accesses = 0
+        for entry in self._entries.values():
+            accesses = entry.accesses
+            total_accesses += accesses
+            if entry.is_shared:
+                shared_pages += 1
+                shared_accesses += accesses
+            if entry.is_read_write:
+                rw_pages += 1
+                rw_accesses += accesses
+
+        def frac(part: int, whole: int) -> float:
+            """Safe ratio (0 when the denominator is 0)."""
+            return part / whole if whole else 0.0
+
+        return SharingSummary(
+            private_page_fraction=frac(total_pages - shared_pages, total_pages),
+            shared_page_fraction=frac(shared_pages, total_pages),
+            private_access_fraction=frac(
+                total_accesses - shared_accesses, total_accesses
+            ),
+            shared_access_fraction=frac(shared_accesses, total_accesses),
+            read_page_fraction=frac(total_pages - rw_pages, total_pages),
+            read_write_page_fraction=frac(rw_pages, total_pages),
+            read_access_fraction=frac(
+                total_accesses - rw_accesses, total_accesses
+            ),
+            read_write_access_fraction=frac(rw_accesses, total_accesses),
+            total_pages=total_pages,
+            total_accesses=total_accesses,
+        )

@@ -1,0 +1,7 @@
+"""UVM driver substrate: fault handling and page-movement mechanics."""
+
+from repro.uvm.driver import UvmDriver
+from repro.uvm.faults import FaultEvent
+from repro.uvm.machine import MachineState
+
+__all__ = ["UvmDriver", "FaultEvent", "MachineState"]

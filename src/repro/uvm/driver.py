@@ -1,0 +1,305 @@
+"""The UVM driver: centralized fault handling (Figure 16).
+
+Every local page fault and page protection fault travels over PCIe to
+the host, where the driver walks the centralized page table, consults
+the placement policy (step 2-4 of Figure 16 for GRIT), and resolves the
+fault with the mechanic the page's scheme demands: on-touch migration,
+remote mapping with access counters, or duplication / write collapse.
+First-touch pinning, GPS publish-subscribe, and the Ideal bound are
+additional mechanics used by the comparator policies.
+"""
+
+from __future__ import annotations
+
+from repro.constants import (
+    HOST_NODE,
+    FaultKind,
+    LatencyCategory,
+)
+from repro.errors import PolicyError
+from repro.stats.events import EventKind
+from repro.memsys.page import PageInfo
+from repro.policies.base import Mechanic, PlacementPolicy
+from repro.uvm.duplication import DuplicationEngine
+from repro.uvm.machine import MachineState
+from repro.uvm.migration import MigrationEngine
+
+
+class UvmDriver:
+    """Host-side memory manager tying mechanics to the active policy."""
+
+    def __init__(self, machine: MachineState, policy: PlacementPolicy) -> None:
+        self.machine = machine
+        self.policy = policy
+        self.migration = MigrationEngine(machine)
+        self.duplication = DuplicationEngine(machine, self.migration)
+        policy.bind(machine)
+
+    # ------------------------------------------------------------------
+    # fault entry points
+    # ------------------------------------------------------------------
+
+    def handle_local_fault(self, gpu: int, vpn: int, is_write: bool) -> int:
+        """Resolve a local page fault; returns cycles the access stalls."""
+        m = self.machine
+        page = m.central_pt.get(vpn)
+        if self.policy.mechanic_for(page) is Mechanic.IDEAL:
+            return self._resolve_ideal(gpu, page, is_write)
+        m.counters.record_fault(FaultKind.LOCAL_PAGE_FAULT, gpu)
+        cycles = self._host_service(gpu)
+        cycles += self._observe_fault(
+            gpu, vpn, FaultKind.LOCAL_PAGE_FAULT, is_write
+        )
+        cycles += self._resolve(gpu, page, is_write)
+        if m.event_log is not None:
+            m.event_log.emit(
+                EventKind.LOCAL_FAULT, vpn, gpu, detail=int(is_write),
+                cycles=cycles,
+            )
+        return cycles
+
+    def handle_protection_fault(self, gpu: int, vpn: int) -> int:
+        """Resolve a write that hit a read-only (duplicated) translation."""
+        m = self.machine
+        m.counters.record_fault(FaultKind.PAGE_PROTECTION_FAULT, gpu)
+        page = m.central_pt.get(vpn)
+        cycles = self._host_service(gpu)
+        cycles += self._observe_fault(
+            gpu, vpn, FaultKind.PAGE_PROTECTION_FAULT, True
+        )
+        cycles += self.duplication.collapse_to_writer(
+            page, gpu, flush_scale=self.policy.flush_scale
+        )
+        if m.event_log is not None:
+            m.event_log.emit(
+                EventKind.PROTECTION_FAULT, vpn, gpu, cycles=cycles
+            )
+        return cycles
+
+    def on_remote_access(self, gpu: int, vpn: int) -> int:
+        """Account one remote data access; may fire a counter migration."""
+        m = self.machine
+        m.counters.remote_accesses += 1
+        self.policy.on_remote_access(gpu, vpn)
+        page = m.central_pt.get(vpn)
+        if self.policy.mechanic_for(page) is not Mechanic.ACCESS_COUNTER:
+            return 0
+        if not m.access_counters.record_remote_access(gpu, vpn):
+            return 0
+        # Threshold reached: the driver broadcasts invalidations and
+        # migrates the page toward the counting GPU (Section II-B2).
+        cycles = self._host_service(gpu)
+        cycles += self.migration.migrate(
+            page, gpu, flush_scale=self.policy.flush_scale
+        )
+        return cycles
+
+    def gps_write(self, gpu: int, vpn: int) -> int:
+        """GPS store to a subscribed page: broadcast to all subscribers."""
+        m = self.machine
+        page = m.central_pt.get(vpn)
+        page.dirty = True
+        page.ever_written = True
+        subscribers = page.holders() - {gpu}
+        if not subscribers:
+            return 0
+        cycles = len(subscribers) * m.config.latency.gps_store_broadcast
+        m.breakdown.charge(LatencyCategory.REMOTE_ACCESS, cycles)
+        return cycles
+
+    def prefetch_page(self, gpu: int, vpn: int) -> bool:
+        """Background prefetch of an un-placed page toward ``gpu``.
+
+        Only pages still resident on the host are prefetched (pulling a
+        page out from under another GPU would be a migration, which the
+        tree prefetcher does not do).  Background transfers charge no
+        stall cycles but do consume frames and link bandwidth.
+        """
+        m = self.machine
+        if vpn >= m.footprint_pages:
+            return False
+        page = m.central_pt.get(vpn)
+        if page.owner != HOST_NODE:
+            return False
+        m.topology.transfer(HOST_NODE, gpu, m.config.page_size)
+        self.migration.install_frame(
+            gpu, vpn, False, LatencyCategory.PAGE_MIGRATION
+        )
+        page.owner = gpu
+        m.gpus[gpu].page_table.map(vpn, gpu, writable=True)
+        m.counters.prefetches += 1
+        if m.event_log is not None:
+            m.event_log.emit(EventKind.PREFETCH, vpn, gpu)
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _host_service(self, gpu: int) -> int:
+        """PCIe hop plus UVM software service time, charged to Host."""
+        m = self.machine
+        cycles = m.topology.control_message(gpu, HOST_NODE)
+        cycles += int(
+            m.config.latency.host_fault_service
+            * self.policy.fault_service_scale
+        )
+        m.breakdown.charge(LatencyCategory.HOST, cycles)
+        return cycles
+
+    def _observe_fault(
+        self, gpu: int, vpn: int, kind: FaultKind, is_write: bool
+    ) -> int:
+        """Run the policy's fault hook (GRIT's PA path) and apply any
+        scheme-transition consistency work it requests."""
+        observation = self.policy.on_fault_observed(gpu, vpn, kind, is_write)
+        cycles = observation.extra_latency
+        if cycles:
+            self.machine.breakdown.charge(LatencyCategory.HOST, cycles)
+        for changed_vpn in observation.collapse_charged:
+            page = self.machine.central_pt.get(changed_vpn)
+            cycles += self._charge_collapse(page)
+        for changed_vpn in observation.collapse_background:
+            page = self.machine.central_pt.get(changed_vpn)
+            # Neighbor-propagated transitions happen in the background;
+            # consistency work is done but not charged to this fault.
+            self.duplication.drop_replicas(
+                page, flush_scale=self.policy.flush_scale
+            )
+        return cycles
+
+    def _charge_collapse(self, page: PageInfo) -> int:
+        cycles = self.duplication.drop_replicas(
+            page, flush_scale=self.policy.flush_scale
+        )
+        self.machine.breakdown.charge(LatencyCategory.WRITE_COLLAPSE, cycles)
+        return cycles
+
+    def _resolve(self, gpu: int, page: PageInfo, is_write: bool) -> int:
+        """Apply the page's mechanic to resolve a local fault."""
+        mechanic = self.policy.mechanic_for(page)
+        flush_scale = self.policy.flush_scale
+        if mechanic is Mechanic.ON_TOUCH:
+            cycles = self.migration.migrate(page, gpu, flush_scale=flush_scale)
+            if is_write:
+                page.dirty = True
+                page.ever_written = True
+                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
+            return cycles
+        if mechanic is Mechanic.ACCESS_COUNTER:
+            # Counter-based migration never migrates eagerly: even a
+            # first touch maps the page where it lives (host memory) and
+            # lets the access counters earn the migration (Section
+            # II-B2).
+            return self._resolve_remote_map(
+                gpu, page, is_write, flush_scale, place_on_first_touch=False
+            )
+        if mechanic is Mechanic.PEER_REMOTE:
+            # First-touch pins the page at its first toucher.
+            return self._resolve_remote_map(
+                gpu, page, is_write, flush_scale, place_on_first_touch=True
+            )
+        if mechanic is Mechanic.DUPLICATION:
+            return self._resolve_duplication(gpu, page, is_write, flush_scale)
+        if mechanic is Mechanic.GPS:
+            return self._resolve_gps(gpu, page, is_write, flush_scale)
+        if mechanic is Mechanic.IDEAL:
+            return self._resolve_ideal(gpu, page, is_write)
+        raise PolicyError(f"unknown mechanic {mechanic!r}")
+
+    def _resolve_remote_map(
+        self,
+        gpu: int,
+        page: PageInfo,
+        is_write: bool,
+        flush_scale: float,
+        place_on_first_touch: bool,
+    ) -> int:
+        """AC / first-touch: establish a (possibly remote) mapping."""
+        if page.owner == HOST_NODE and place_on_first_touch:
+            if is_write:
+                page.dirty = True
+                page.ever_written = True
+            cycles = self.migration.place_from_host(
+                page, gpu, LatencyCategory.PAGE_MIGRATION, flush_scale
+            )
+            if is_write:
+                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
+            return cycles
+        if page.replicas:
+            # Stale replicas from a previous duplication lifetime would
+            # break coherence under remote write mappings; drop them.
+            self._charge_collapse(page)
+        self.machine.gpus[gpu].page_table.map(
+            page.vpn, page.owner, writable=True
+        )
+        if is_write:
+            page.ever_written = True
+            if page.owner != HOST_NODE:
+                page.dirty = True
+                self.machine.gpus[page.owner].dram.mark_dirty(page.vpn)
+        return 0
+
+    def _resolve_duplication(
+        self, gpu: int, page: PageInfo, is_write: bool, flush_scale: float
+    ) -> int:
+        if page.owner == HOST_NODE:
+            if is_write:
+                page.dirty = True
+                page.ever_written = True
+            # Copy-on-write: read placements map read-only so a later
+            # write raises a protection fault (Section II-B3).
+            cycles = self.migration.place_from_host(
+                page,
+                gpu,
+                LatencyCategory.PAGE_DUPLICATION,
+                flush_scale,
+                writable=is_write,
+            )
+            if is_write:
+                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
+            return cycles
+        if is_write:
+            # Faulting write by a GPU with no copy: collapse-with-move.
+            return self.duplication.collapse_to_writer(
+                page, gpu, flush_scale=flush_scale
+            )
+        return self.duplication.duplicate(page, gpu, flush_scale=flush_scale)
+
+    def _resolve_gps(
+        self, gpu: int, page: PageInfo, is_write: bool, flush_scale: float
+    ) -> int:
+        if page.owner == HOST_NODE:
+            if is_write:
+                page.dirty = True
+                page.ever_written = True
+            cycles = self.migration.place_from_host(
+                page, gpu, LatencyCategory.PAGE_DUPLICATION, flush_scale
+            )
+            if is_write:
+                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
+            return cycles
+        # Subscribe: a writable replica.  The write broadcast itself is
+        # charged uniformly by the engine for every GPS write.
+        return self.duplication.duplicate(
+            page, gpu, writable_replica=True, flush_scale=flush_scale
+        )
+
+    def _resolve_ideal(self, gpu: int, page: PageInfo, is_write: bool) -> int:
+        """The paper's Ideal: only the first cold touch pays anything."""
+        m = self.machine
+        cycles = 0
+        if page.owner == HOST_NODE:
+            # The one cost Ideal pays: the first cold touch of a page.
+            cycles = self._host_service(gpu)
+            transfer = m.topology.transfer(HOST_NODE, gpu, m.config.page_size)
+            m.breakdown.charge(LatencyCategory.PAGE_MIGRATION, transfer)
+            cycles += transfer
+            page.owner = gpu
+        else:
+            page.replicas.add(gpu)
+        if is_write:
+            page.dirty = True
+            page.ever_written = True
+        m.gpus[gpu].page_table.map(page.vpn, gpu, writable=True)
+        return cycles

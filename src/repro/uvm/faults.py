@@ -1,0 +1,18 @@
+"""Fault event record used for logging/inspection hooks."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.constants import FaultKind
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One UVM fault, as delivered to the host driver."""
+
+    kind: FaultKind
+    gpu: int
+    vpn: int
+    is_write: bool
+    cycle: int

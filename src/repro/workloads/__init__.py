@@ -1,0 +1,16 @@
+"""Workload trace generators for the paper's applications (Table II)."""
+
+from repro.workloads.base import WorkloadSpec, WorkloadTrace
+from repro.workloads.registry import (
+    APPLICATION_TABLE,
+    available_workloads,
+    make_workload,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "APPLICATION_TABLE",
+    "available_workloads",
+    "make_workload",
+]

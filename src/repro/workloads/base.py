@@ -1,0 +1,110 @@
+"""Workload trace containers and generator plumbing.
+
+A :class:`WorkloadTrace` is the engine's input: one access stream per
+GPU, each a pair of numpy arrays (4 KB virtual page numbers and write
+flags).  Streams are always expressed at 4 KB granularity so the same
+trace drives both the 4 KB baseline and the 2 MB large-page study; the
+engine folds VPNs to the configured page size.
+
+Generators are deterministic given their seed; the round-robin-fill TB
+scheduler of Section III-B is reflected in how generators block-partition
+work across GPUs (contiguous chunks per GPU, preserving inter-TB
+locality).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one application (a Table II row)."""
+
+    name: str
+    full_name: str
+    suite: str
+    access_pattern: str
+    footprint_mb: int
+
+
+@dataclasses.dataclass
+class WorkloadTrace:
+    """Per-GPU memory access streams plus footprint metadata."""
+
+    name: str
+    num_gpus: int
+    #: Footprint in 4 KB pages; sizes the per-GPU DRAM budget.
+    footprint_pages: int
+    #: Per GPU: (vpns int64 array, writes bool array), 4 KB granularity.
+    streams: List[Tuple[np.ndarray, np.ndarray]]
+    spec: WorkloadSpec | None = None
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise TraceError("trace needs at least one GPU")
+        if len(self.streams) != self.num_gpus:
+            raise TraceError(
+                f"{self.name}: {len(self.streams)} streams for "
+                f"{self.num_gpus} GPUs"
+            )
+        if self.footprint_pages < 1:
+            raise TraceError("footprint must be at least one page")
+        for gpu, (vpns, writes) in enumerate(self.streams):
+            if len(vpns) != len(writes):
+                raise TraceError(
+                    f"{self.name}: GPU {gpu} stream arrays disagree in length"
+                )
+            if len(vpns) and (
+                int(vpns.min()) < 0 or int(vpns.max()) >= self.footprint_pages
+            ):
+                raise TraceError(
+                    f"{self.name}: GPU {gpu} stream touches pages outside "
+                    f"the {self.footprint_pages}-page footprint"
+                )
+
+    @property
+    def total_accesses(self) -> int:
+        """Accesses across all GPU streams."""
+        return sum(len(vpns) for vpns, _ in self.streams)
+
+    def iter_all(self):
+        """Yield ``(gpu, vpn, is_write)`` in per-GPU stream order.
+
+        Characterization (Figures 4-10) consumes traces directly through
+        this iterator without running the simulator.
+        """
+        for gpu, (vpns, writes) in enumerate(self.streams):
+            for vpn, is_write in zip(vpns.tolist(), writes.tolist()):
+                yield gpu, vpn, is_write
+
+
+def merge_phase_streams(
+    phases: List[List[Tuple[np.ndarray, np.ndarray]]],
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Concatenate per-phase per-GPU streams into whole-run streams."""
+    if not phases:
+        raise TraceError("no phases to merge")
+    num_gpus = len(phases[0])
+    merged: List[Tuple[np.ndarray, np.ndarray]] = []
+    for gpu in range(num_gpus):
+        vpn_parts = [phase[gpu][0] for phase in phases]
+        write_parts = [phase[gpu][1] for phase in phases]
+        merged.append(
+            (
+                np.concatenate(vpn_parts).astype(np.int64),
+                np.concatenate(write_parts).astype(bool),
+            )
+        )
+    return merged
+
+
+def empty_stream() -> Tuple[np.ndarray, np.ndarray]:
+    """A zero-length (vpns, writes) stream pair."""
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)

@@ -1,0 +1,61 @@
+"""BS — Bitonic Sort (AMDAPPSDK; Table II).
+
+Random pattern: each sorting stage compares elements at power-of-two
+partner offsets that span the whole array, so every GPU reads *and
+writes* all over the shared data — the all-shared read-write case where
+access-counter migration wins and duplication's write collapse storms
+(Figures 1, 5, 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+SPEC = WorkloadSpec(
+    name="bs",
+    full_name="Bitonic Sort",
+    suite="AMDAPPSDK",
+    access_pattern="Random",
+    footprint_mb=30,
+)
+
+#: Sorting stages (each doubles the partner stride).
+NUM_STAGES = 10
+
+
+def generate(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 23
+) -> WorkloadTrace:
+    """Build the BS trace: strided partner read-writes over one array."""
+    rng = np.random.default_rng(seed)
+    array_pages = max(num_gpus * 16, int(2000 * scale))
+    accesses_per_stage = max(2, int(2000 * scale))
+
+    phases = []
+    for stage in range(NUM_STAGES):
+        stride = 1 << (stage % max(1, array_pages.bit_length() - 2))
+        per_gpu = []
+        for gpu in range(num_gpus):
+            per_gpu.append(
+                patterns.strided_partner_accesses(
+                    base=0,
+                    num_pages=array_pages,
+                    stride=stride,
+                    count=accesses_per_stage,
+                    write_ratio=0.5,
+                    rng=rng,
+                )
+            )
+        phases.append(per_gpu)
+
+    return WorkloadTrace(
+        name="bs",
+        num_gpus=num_gpus,
+        footprint_pages=array_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPEC,
+        metadata={"stages": NUM_STAGES, "array_pages": array_pages},
+    )

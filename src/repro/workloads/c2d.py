@@ -1,0 +1,99 @@
+"""C2D — 2D Convolution layer pipeline (DNN-Mark; Table II).
+
+Adjacent pattern with producer-consumer (PC) shared pages: activation
+buffers are written by one GPU and read by the next a phase later, then
+written and read once more (the second round is what makes uniform
+duplication collapse and re-duplicate ~half the pages, Section IV-A).
+Weights are private and read-heavy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+SPEC = WorkloadSpec(
+    name="c2d",
+    full_name="Convolution 2D",
+    suite="DNN-Mark",
+    access_pattern="Adjacent",
+    footprint_mb=94,
+)
+
+#: Pipeline phases (batches flowing through the GPU chain).
+NUM_PHASES = 8
+
+
+def generate(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 13
+) -> WorkloadTrace:
+    """Build the C2D trace: double-round producer-consumer handoffs."""
+    buffer_pages = max(8, int(24 * scale))
+    weight_pages_per_gpu = max(8, int(220 * scale))
+    weight_chunks = patterns.split_region(
+        0, weight_pages_per_gpu * num_gpus, num_gpus
+    )
+    buffer_base = weight_pages_per_gpu * num_gpus
+    total_pages = buffer_base + num_gpus * NUM_PHASES * buffer_pages
+
+    def buffer_region(gpu: int, phase: int) -> np.ndarray:
+        """Pages of the activation buffer one GPU fills in one phase."""
+        start = buffer_base + (gpu * NUM_PHASES + phase) * buffer_pages
+        return patterns.page_range(start, buffer_pages)
+
+    phases = []
+    for phase in range(NUM_PHASES):
+        per_gpu = []
+        for gpu in range(num_gpus):
+            streams = [
+                patterns.sweep(
+                    weight_chunks[gpu], accesses_per_page=2, write_ratio=0.0
+                )
+            ]
+            # Produce this phase's batch (round 1 write).
+            streams.append(
+                patterns.sweep(
+                    buffer_region(gpu, phase), accesses_per_page=24, write_ratio=0.9
+                )
+            )
+            # Re-process the batch the consumer has seen (round 2 write).
+            if phase >= 2:
+                streams.append(
+                    patterns.sweep(
+                        buffer_region(gpu, phase - 2),
+                        accesses_per_page=24,
+                        write_ratio=0.9,
+                    )
+                )
+            if gpu > 0:
+                # Consume the upstream GPU's previous batch (round 1 read)
+                if phase >= 1:
+                    streams.append(
+                        patterns.sweep(
+                            buffer_region(gpu - 1, phase - 1),
+                            accesses_per_page=24,
+                            write_ratio=0.0,
+                        )
+                    )
+                # ... and its re-processed batch (round 2 read).
+                if phase >= 3:
+                    streams.append(
+                        patterns.sweep(
+                            buffer_region(gpu - 1, phase - 3),
+                            accesses_per_page=24,
+                            write_ratio=0.0,
+                        )
+                    )
+            per_gpu.append(patterns.concat(streams))
+        phases.append(per_gpu)
+
+    return WorkloadTrace(
+        name="c2d",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPEC,
+        metadata={"phases": NUM_PHASES, "buffer_pages": buffer_pages},
+    )

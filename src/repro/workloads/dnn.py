@@ -1,0 +1,277 @@
+"""DNN model-parallel training traces — VGG16 and ResNet18 (Section VI-F).
+
+Model parallelism splits a network's layers across the GPUs.  Each
+training iteration is a forward pass (each GPU reads its own weights,
+reads the activations its upstream neighbour produced, writes its own
+activations) followed by a backward pass (gradients flow the other way
+and weights are read-modified-written by their owner).  Activations and
+gradients are the producer-consumer shared pages; weights are private.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerShape:
+    """Relative page weights of one layer's tensors."""
+
+    name: str
+    weight_pages: int
+    activation_pages: int
+
+
+#: Coarse VGG16 structure: convolution blocks grow in channel count
+#: (weights) while spatial size (activations) shrinks; the classifier
+#: head is weight-dominated.
+VGG16_LAYERS = [
+    LayerShape("conv1", 4, 48),
+    LayerShape("conv2", 12, 40),
+    LayerShape("conv3", 30, 28),
+    LayerShape("conv4", 56, 18),
+    LayerShape("conv5", 56, 10),
+    LayerShape("fc", 160, 4),
+]
+
+#: Coarse ResNet18 structure: four residual stages plus the stem/head.
+RESNET18_LAYERS = [
+    LayerShape("stem", 4, 40),
+    LayerShape("stage1", 12, 32),
+    LayerShape("stage2", 24, 22),
+    LayerShape("stage3", 48, 14),
+    LayerShape("stage4", 90, 8),
+    LayerShape("head", 24, 4),
+]
+
+SPECS = {
+    "vgg16": WorkloadSpec(
+        name="vgg16",
+        full_name="VGG16 model parallelism",
+        suite="DNN",
+        access_pattern="PC-shared pipeline",
+        footprint_mb=0,
+    ),
+    "resnet18": WorkloadSpec(
+        name="resnet18",
+        full_name="ResNet18 model parallelism",
+        suite="DNN",
+        access_pattern="PC-shared pipeline",
+        footprint_mb=0,
+    ),
+}
+
+
+def _assign_layers(layers: List[LayerShape], num_gpus: int) -> List[int]:
+    """Assign consecutive layers to GPUs, balancing total memory pages.
+
+    Each layer's footprint is its weights plus two activation-sized
+    tensors (activations and gradients); the split point for GPU ``g``
+    is where the cumulative footprint crosses ``(g+1)/num_gpus`` of the
+    total, so every GPU gets a contiguous, roughly equal slice.
+    """
+    costs = [
+        layer.weight_pages + 2 * layer.activation_pages for layer in layers
+    ]
+    total = sum(costs)
+    assignment: List[int] = []
+    cumulative = 0
+    for cost in costs:
+        midpoint = cumulative + cost / 2
+        gpu = min(num_gpus - 1, int(midpoint * num_gpus / total))
+        assignment.append(gpu)
+        cumulative += cost
+    # Contiguity is guaranteed by the monotone midpoint; make sure GPU 0
+    # owns the first layer even for degenerate shapes.
+    assignment[0] = 0
+    return assignment
+
+
+def generate_dnn(
+    model: str,
+    num_gpus: int = 4,
+    scale: float = 1.0,
+    seed: int = 37,
+    parallelism: str = "model",
+) -> WorkloadTrace:
+    """Build a training trace for ``model``.
+
+    ``parallelism="model"`` splits layers across GPUs (the paper's
+    Figure 31 setup: activations/gradients are producer-consumer shared
+    between pipeline neighbours).  ``parallelism="data"`` replicates the
+    model and shards the batch: weights and activations are private, but
+    the gradient all-reduce makes every gradient page all-shared
+    read-write — the access pattern where counter-based migration (and
+    GRIT's AC mode) shines.
+    """
+    if parallelism == "data":
+        return _generate_data_parallel(model, num_gpus, scale, seed)
+    if parallelism != "model":
+        raise TraceError(f"unknown parallelism {parallelism!r}")
+    rng = np.random.default_rng(seed)
+    try:
+        layers = {"vgg16": VGG16_LAYERS, "resnet18": RESNET18_LAYERS}[model]
+    except KeyError:
+        raise TraceError(f"unknown DNN model {model!r}") from None
+    page_scale = max(1.0, 8.0 * scale)
+    assignment = _assign_layers(layers, num_gpus)
+    iterations = 6
+
+    # Lay out regions: weights, activations, gradients per layer.
+    cursor = 0
+    weight_regions = []
+    act_regions = []
+    grad_regions = []
+    for layer in layers:
+        wp = max(2, int(layer.weight_pages * page_scale))
+        ap = max(2, int(layer.activation_pages * page_scale))
+        weight_regions.append(patterns.page_range(cursor, wp))
+        cursor += wp
+        act_regions.append(patterns.page_range(cursor, ap))
+        cursor += ap
+        grad_regions.append(patterns.page_range(cursor, ap))
+        cursor += ap
+    total_pages = cursor
+
+    phases = []
+    for _ in range(iterations):
+        forward = [[] for _ in range(num_gpus)]
+        backward = [[] for _ in range(num_gpus)]
+        for index, layer in enumerate(layers):
+            gpu = assignment[index]
+            # Forward: read weights, read upstream activations, write own.
+            forward[gpu].append(
+                patterns.sweep(weight_regions[index], 2, write_ratio=0.0)
+            )
+            if index > 0:
+                forward[gpu].append(
+                    patterns.sweep(act_regions[index - 1], 4, write_ratio=0.0)
+                )
+            forward[gpu].append(
+                patterns.sweep(act_regions[index], 4, write_ratio=1.0)
+            )
+            # Backward: read downstream gradients, write own, update
+            # weights (read-modify-write).
+            if index + 1 < len(layers):
+                backward[gpu].append(
+                    patterns.sweep(grad_regions[index + 1], 4, write_ratio=0.0)
+                )
+            backward[gpu].append(
+                patterns.sweep(grad_regions[index], 4, write_ratio=1.0)
+            )
+            backward[gpu].append(
+                patterns.sweep(weight_regions[index], 2, write_ratio=0.5)
+            )
+        phases.append([patterns.concat(streams) for streams in forward])
+        phases.append([patterns.concat(streams) for streams in backward])
+
+    return WorkloadTrace(
+        name=model,
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPECS[model],
+        metadata={
+            "iterations": iterations,
+            "layers": [layer.name for layer in layers],
+            "assignment": assignment,
+        },
+    )
+
+
+def _generate_data_parallel(
+    model: str, num_gpus: int, scale: float, seed: int
+) -> WorkloadTrace:
+    """Data-parallel training: replicated model, all-reduced gradients."""
+    rng = np.random.default_rng(seed)
+    try:
+        layers = {"vgg16": VGG16_LAYERS, "resnet18": RESNET18_LAYERS}[model]
+    except KeyError:
+        raise TraceError(f"unknown DNN model {model!r}") from None
+    page_scale = max(1.0, 4.0 * scale)
+    iterations = 4
+    weight_pages = max(4, int(sum(l.weight_pages for l in layers) * page_scale))
+    act_pages = max(
+        4, int(sum(l.activation_pages for l in layers) * page_scale)
+    )
+    grad_pages = weight_pages  # gradients mirror the weights
+
+    cursor = 0
+    # Per-GPU weight replicas and activation shards (private).
+    weight_replicas = []
+    act_shards = []
+    for _ in range(num_gpus):
+        weight_replicas.append(patterns.page_range(cursor, weight_pages))
+        cursor += weight_pages
+        act_shards.append(patterns.page_range(cursor, act_pages))
+        cursor += act_pages
+    # One shared gradient buffer, all-reduced by everyone.
+    gradients = patterns.page_range(cursor, grad_pages)
+    cursor += grad_pages
+    total_pages = cursor
+
+    phases = []
+    for _ in range(iterations):
+        compute = []
+        for gpu in range(num_gpus):
+            compute.append(
+                patterns.concat(
+                    [
+                        patterns.sweep(weight_replicas[gpu], 2, 0.0),
+                        patterns.sweep(
+                            act_shards[gpu], 2, write_ratio=0.5, rng=rng
+                        ),
+                    ]
+                )
+            )
+        phases.append(compute)
+        # All-reduce: every GPU reads and accumulates into every
+        # gradient page (ring reduce at page granularity).
+        allreduce = [
+            patterns.sweep(gradients, 2, write_ratio=0.5, rng=rng)
+            for _ in range(num_gpus)
+        ]
+        phases.append(allreduce)
+        # Weight update from the reduced gradients (private writes).
+        update = [
+            patterns.concat(
+                [
+                    patterns.sweep(gradients, 1, write_ratio=0.0),
+                    patterns.sweep(
+                        weight_replicas[gpu], 1, write_ratio=1.0
+                    ),
+                ]
+            )
+            for gpu in range(num_gpus)
+        ]
+        phases.append(update)
+
+    return WorkloadTrace(
+        name=f"{model}_dp",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPECS[model],
+        metadata={
+            "iterations": iterations,
+            "parallelism": "data",
+            "gradient_pages": grad_pages,
+        },
+    )
+
+
+def generate_vgg16(num_gpus: int = 4, scale: float = 1.0, seed: int = 37) -> WorkloadTrace:
+    """Registry entry point for the VGG16 model-parallel trace."""
+    return generate_dnn("vgg16", num_gpus=num_gpus, scale=scale, seed=seed)
+
+
+def generate_resnet18(num_gpus: int = 4, scale: float = 1.0, seed: int = 41) -> WorkloadTrace:
+    """Registry entry point for the ResNet18 model-parallel trace."""
+    return generate_dnn("resnet18", num_gpus=num_gpus, scale=scale, seed=seed)

@@ -1,0 +1,82 @@
+"""FIR — Finite Impulse Response filter (Hetero-Mark; Table II).
+
+Adjacent access pattern with almost exclusively private pages: the input
+signal is batched and each GPU convolves its own contiguous chunk into
+its own output chunk, reading a tiny halo from the neighbouring batch.
+Input pages are read-only, output pages write-dominated — the paper's
+poster child for on-touch migration (Figures 1, 4, 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+SPEC = WorkloadSpec(
+    name="fir",
+    full_name="Finite Impulse Response",
+    suite="Hetero-Mark",
+    access_pattern="Adjacent",
+    footprint_mb=155,
+)
+
+#: Halo pages read from the neighbouring GPU's input chunk each pass.
+HALO_PAGES = 4
+
+
+def generate(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 7
+) -> WorkloadTrace:
+    """Build the FIR trace: private input/output sweeps with a halo."""
+    rng = np.random.default_rng(seed)
+    input_pages = max(num_gpus * 16, int(1200 * scale))
+    output_pages = max(num_gpus * 8, int(400 * scale))
+    iterations = 3
+    input_chunks = patterns.split_region(0, input_pages, num_gpus)
+    output_chunks = patterns.split_region(input_pages, output_pages, num_gpus)
+    total_pages = input_pages + output_pages
+
+    phases = []
+    for _ in range(iterations):
+        phase = []
+        for gpu in range(num_gpus):
+            streams = [
+                patterns.sweep(
+                    input_chunks[gpu], accesses_per_page=12, write_ratio=0.0
+                ),
+                patterns.sweep(
+                    output_chunks[gpu],
+                    accesses_per_page=8,
+                    write_ratio=0.75,
+                    rng=rng,
+                ),
+            ]
+            if gpu + 1 < num_gpus:
+                streams.append(
+                    patterns.sweep(
+                        input_chunks[gpu + 1][:HALO_PAGES],
+                        accesses_per_page=2,
+                        write_ratio=0.0,
+                    )
+                )
+            if gpu > 0:
+                streams.append(
+                    patterns.sweep(
+                        input_chunks[gpu - 1][-HALO_PAGES:],
+                        accesses_per_page=2,
+                        write_ratio=0.0,
+                    )
+                )
+            phase.append(patterns.concat(streams))
+        phases.append(phase)
+
+    return WorkloadTrace(
+        name="fir",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPEC,
+        metadata={"iterations": iterations, "halo_pages": HALO_PAGES},
+    )

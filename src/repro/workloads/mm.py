@@ -1,0 +1,85 @@
+"""MM — Matrix Multiplication (AMDAPPSDK; Table II).
+
+Scatter-gather like GEMM but with a roughly even private/shared page
+split (Figure 4): each GPU stages read-only tiles of the shared input
+into private buffers and accumulates into a private output slice, with a
+small all-GPU hot input tile drawing most of the shared reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+SPEC = WorkloadSpec(
+    name="mm",
+    full_name="Matrix Multiplication",
+    suite="AMDAPPSDK",
+    access_pattern="Scatter-Gather",
+    footprint_mb=33,
+)
+
+NUM_ROUNDS = 2
+HOT_FRACTION = 0.05
+
+
+def generate(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 31
+) -> WorkloadTrace:
+    """Build the MM trace: even private/shared mix, read-dominant."""
+    rng = np.random.default_rng(seed)
+    shared_pages_count = max(num_gpus * 16, int(800 * scale))
+    staging_pages_per_gpu = max(6, int(120 * scale))
+    output_pages_per_gpu = max(4, int(80 * scale))
+    shared = patterns.page_range(0, shared_pages_count)
+    private_per_gpu = staging_pages_per_gpu + output_pages_per_gpu
+    private_chunks = patterns.split_region(
+        shared_pages_count, private_per_gpu * num_gpus, num_gpus
+    )
+    total_pages = shared_pages_count + private_per_gpu * num_gpus
+    shared_reads = max(1, int(1400 * scale))
+
+    phases = []
+    for _ in range(NUM_ROUNDS):
+        per_gpu = []
+        for gpu in range(num_gpus):
+            inputs = patterns.random_accesses(
+                shared,
+                count=shared_reads,
+                write_ratio=0.0,
+                rng=rng,
+                hot_fraction=HOT_FRACTION,
+                hot_weight=0.6,
+                burst_length=2,
+            )
+            chunk = private_chunks[gpu]
+            staging = patterns.sweep(
+                chunk[:staging_pages_per_gpu],
+                accesses_per_page=10,
+                write_ratio=0.0,
+            )
+            output = patterns.sweep(
+                chunk[staging_pages_per_gpu:],
+                accesses_per_page=12,
+                write_ratio=0.6,
+                rng=rng,
+            )
+            per_gpu.append(
+                patterns.interleave([inputs, staging, output], rng)
+            )
+        phases.append(per_gpu)
+
+    return WorkloadTrace(
+        name="mm",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPEC,
+        metadata={
+            "rounds": NUM_ROUNDS,
+            "shared_pages": shared_pages_count,
+            "hot_fraction": HOT_FRACTION,
+        },
+    )

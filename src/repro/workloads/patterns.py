@@ -1,0 +1,155 @@
+"""Access-pattern primitives shared by the workload generators.
+
+All helpers produce ``(vpns, writes)`` numpy pairs at 4 KB granularity.
+Generators compose these into per-GPU, per-phase streams matching the
+paper's three pattern families: random (BFS, BS), adjacent (C2D, FIR,
+SC, ST) and scatter-gather (GEMM, MM).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Stream = Tuple[np.ndarray, np.ndarray]
+
+
+def sweep(
+    pages: np.ndarray,
+    accesses_per_page: int,
+    write_ratio: float,
+    rng: np.random.Generator | None = None,
+) -> Stream:
+    """Sequential sweep: each page accessed ``accesses_per_page`` times.
+
+    Consecutive accesses to one page stay adjacent in the stream (the
+    inter-TB locality the round-robin-fill scheduler preserves).  A
+    ``write_ratio`` fraction of the accesses are writes, scattered
+    randomly through each burst when ``rng`` is given (so the *faulting*
+    access of a burst is a write with probability ``write_ratio``, as in
+    real kernels) and placed at the end of the burst otherwise.
+    """
+    if accesses_per_page < 1:
+        raise ValueError("accesses_per_page must be >= 1")
+    if not 0.0 <= write_ratio <= 1.0:
+        raise ValueError("write_ratio must be within [0, 1]")
+    vpns = np.repeat(np.asarray(pages, dtype=np.int64), accesses_per_page)
+    if rng is not None:
+        writes = rng.random(len(vpns)) < write_ratio
+    else:
+        writes_per_page = int(round(accesses_per_page * write_ratio))
+        page_pattern = np.zeros(accesses_per_page, dtype=bool)
+        if writes_per_page:
+            page_pattern[accesses_per_page - writes_per_page:] = True
+        writes = np.tile(page_pattern, len(pages))
+    return vpns, writes
+
+
+def random_accesses(
+    pages: np.ndarray,
+    count: int,
+    write_ratio: float,
+    rng: np.random.Generator,
+    hot_fraction: float = 0.0,
+    hot_weight: float = 0.0,
+    burst_length: int = 4,
+) -> Stream:
+    """Random accesses over a page set, optionally skewed toward a hot
+    prefix (``hot_fraction`` of the pages drawing ``hot_weight`` of the
+    accesses).
+
+    Draws come in bursts of ``burst_length`` consecutive accesses to the
+    same page: a thread block that touches a page issues several
+    loads/stores to it before moving on, which is what keeps on-touch
+    migration from ping-ponging on literally every access.
+    """
+    pages = np.asarray(pages, dtype=np.int64)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if burst_length < 1:
+        raise ValueError("burst_length must be >= 1")
+    if len(pages) == 0 or count == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    draws = max(1, count // burst_length)
+    if hot_fraction > 0.0 and hot_weight > 0.0:
+        hot_count = max(1, int(len(pages) * hot_fraction))
+        hot_draws = int(draws * hot_weight)
+        hot = rng.choice(pages[:hot_count], size=hot_draws)
+        cold = rng.choice(pages, size=draws - hot_draws)
+        picks = np.concatenate([hot, cold])
+        rng.shuffle(picks)
+    else:
+        picks = rng.choice(pages, size=draws)
+    vpns = np.repeat(picks, burst_length)[:count]
+    writes = rng.random(len(vpns)) < write_ratio
+    return vpns.astype(np.int64), writes
+
+
+def strided_partner_accesses(
+    base: int,
+    num_pages: int,
+    stride: int,
+    count: int,
+    write_ratio: float,
+    rng: np.random.Generator,
+) -> Stream:
+    """Bitonic-style strided pairs: page ``i`` and ``i xor stride``."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    starts = rng.integers(0, num_pages, size=count // 2)
+    partners = np.bitwise_xor(starts, stride) % num_pages
+    vpns = np.empty(2 * len(starts), dtype=np.int64)
+    vpns[0::2] = base + starts
+    vpns[1::2] = base + partners
+    writes = rng.random(len(vpns)) < write_ratio
+    return vpns, writes
+
+
+def interleave(streams: Sequence[Stream], rng: np.random.Generator) -> Stream:
+    """Randomly interleave several streams while preserving each one's
+    internal order (concurrent kernels sharing one GPU)."""
+    streams = [s for s in streams if len(s[0])]
+    if not streams:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    if len(streams) == 1:
+        return streams[0]
+    tags = np.concatenate(
+        [np.full(len(vpns), i, dtype=np.int64) for i, (vpns, _) in enumerate(streams)]
+    )
+    rng.shuffle(tags)
+    total = len(tags)
+    vpns = np.empty(total, dtype=np.int64)
+    writes = np.empty(total, dtype=bool)
+    cursors = [0] * len(streams)
+    for out_index, tag in enumerate(tags.tolist()):
+        svpns, swrites = streams[tag]
+        cursor = cursors[tag]
+        vpns[out_index] = svpns[cursor]
+        writes[out_index] = swrites[cursor]
+        cursors[tag] = cursor + 1
+    return vpns, writes
+
+
+def concat(streams: Sequence[Stream]) -> Stream:
+    """Concatenate streams back to back (sequential phases)."""
+    streams = list(streams)
+    if not streams:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    vpns = np.concatenate([vpns for vpns, _ in streams]).astype(np.int64)
+    writes = np.concatenate([writes for _, writes in streams]).astype(bool)
+    return vpns, writes
+
+
+def page_range(start: int, count: int) -> np.ndarray:
+    """Contiguous page ids as an int64 array."""
+    return np.arange(start, start + count, dtype=np.int64)
+
+
+def split_region(start: int, count: int, parts: int) -> List[np.ndarray]:
+    """Block-partition a contiguous region into ``parts`` chunks."""
+    boundaries = np.linspace(start, start + count, parts + 1).astype(np.int64)
+    return [
+        np.arange(boundaries[i], boundaries[i + 1], dtype=np.int64)
+        for i in range(parts)
+    ]

@@ -1,0 +1,80 @@
+"""SC — Simple Convolution (AMDAPPSDK; Table II).
+
+Adjacent pattern, almost entirely private pages, like FIR but with a
+wider stencil apron and a read-heavier mix: the image is read-only, the
+convolved output is write-dominated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+SPEC = WorkloadSpec(
+    name="sc",
+    full_name="Simple Convolution",
+    suite="AMDAPPSDK",
+    access_pattern="Adjacent",
+    footprint_mb=131,
+)
+
+#: Convolution apron read from each neighbour per pass.
+HALO_PAGES = 8
+
+
+def generate(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 11
+) -> WorkloadTrace:
+    """Build the SC trace: read-only image sweeps plus an output band."""
+    rng = np.random.default_rng(seed)
+    image_pages = max(num_gpus * 16, int(1350 * scale))
+    output_pages = max(num_gpus * 8, int(450 * scale))
+    iterations = 3
+    image_chunks = patterns.split_region(0, image_pages, num_gpus)
+    output_chunks = patterns.split_region(image_pages, output_pages, num_gpus)
+    total_pages = image_pages + output_pages
+
+    phases = []
+    for _ in range(iterations):
+        phase = []
+        for gpu in range(num_gpus):
+            streams = [
+                patterns.sweep(
+                    image_chunks[gpu], accesses_per_page=10, write_ratio=0.0
+                ),
+                patterns.sweep(
+                    output_chunks[gpu],
+                    accesses_per_page=6,
+                    write_ratio=0.8,
+                    rng=rng,
+                ),
+            ]
+            if gpu + 1 < num_gpus:
+                streams.append(
+                    patterns.sweep(
+                        image_chunks[gpu + 1][:HALO_PAGES],
+                        accesses_per_page=2,
+                        write_ratio=0.0,
+                    )
+                )
+            if gpu > 0:
+                streams.append(
+                    patterns.sweep(
+                        image_chunks[gpu - 1][-HALO_PAGES:],
+                        accesses_per_page=2,
+                        write_ratio=0.0,
+                    )
+                )
+            phase.append(patterns.concat(streams))
+        phases.append(phase)
+
+    return WorkloadTrace(
+        name="sc",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPEC,
+        metadata={"iterations": iterations, "halo_pages": HALO_PAGES},
+    )

@@ -1,0 +1,87 @@
+"""ST — Stencil 2D (SHOC; Table II).
+
+Adjacent pattern where virtually every page is shared read-write: each
+GPU owns a band of rows, re-reads and re-writes it every iteration, and
+reads wide boundary regions of both neighbours.  The time structure
+follows Figures 5(b)/8/10: an initial read-only warm-up (intervals with
+no writes), a long all-shared read-write middle, and a final stretch
+where only one neighbour still reads (the pattern turning PC-shared).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads import patterns
+from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+
+SPEC = WorkloadSpec(
+    name="st",
+    full_name="Stencil 2D",
+    suite="SHOC",
+    access_pattern="Adjacent",
+    footprint_mb=33,
+)
+
+#: Stencil iterations; the first READ_ONLY_ITERS perform no writes.
+NUM_ITERS = 8
+READ_ONLY_ITERS = 3
+#: Iterations from which only the lower neighbour reads (PC-shaped tail).
+ONE_SIDED_FROM = 6
+
+
+def generate(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 17
+) -> WorkloadTrace:
+    """Build the ST trace: boundary-sharing stencil sweeps."""
+    rng = np.random.default_rng(seed)
+    total_pages = max(num_gpus * 32, int(800 * scale))
+    chunks = patterns.split_region(0, total_pages, num_gpus)
+    # Neighbours re-read most of the band every iteration: that is what
+    # makes ~99% of ST's pages shared read-write (Section VI-A).
+    boundary = max(2, int(0.85 * min(len(chunk) for chunk in chunks)))
+
+    phases = []
+    for iteration in range(NUM_ITERS):
+        write_ratio = 0.0 if iteration < READ_ONLY_ITERS else 0.5
+        per_gpu = []
+        for gpu in range(num_gpus):
+            own = patterns.sweep(
+                chunks[gpu],
+                accesses_per_page=8,
+                write_ratio=write_ratio,
+                rng=rng,
+            )
+            streams = [own]
+            read_upper = iteration < ONE_SIDED_FROM
+            if gpu > 0:
+                streams.append(
+                    patterns.sweep(
+                        chunks[gpu - 1][-boundary:],
+                        accesses_per_page=4,
+                        write_ratio=0.0,
+                    )
+                )
+            if gpu + 1 < num_gpus and read_upper:
+                streams.append(
+                    patterns.sweep(
+                        chunks[gpu + 1][:boundary],
+                        accesses_per_page=4,
+                        write_ratio=0.0,
+                    )
+                )
+            per_gpu.append(patterns.concat(streams))
+        phases.append(per_gpu)
+
+    return WorkloadTrace(
+        name="st",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phases),
+        spec=SPEC,
+        metadata={
+            "iterations": NUM_ITERS,
+            "read_only_iterations": READ_ONLY_ITERS,
+            "boundary_pages": boundary,
+        },
+    )

@@ -1,0 +1,231 @@
+"""Parameterized synthetic workloads.
+
+The Table II generators are calibrated reproductions of specific
+applications; these are the *knobs-exposed* versions for exploring
+policy behaviour directly: dial sharing, read/write mix, hotness, and
+phase structure, and watch which placement scheme wins.
+
+Each builder returns a normal :class:`WorkloadTrace`, so synthetic
+workloads run through the same engine, policies, and analysis as
+everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads import patterns
+from repro.workloads.base import (
+    WorkloadSpec,
+    WorkloadTrace,
+    merge_phase_streams,
+)
+
+
+def _spec(name: str, pattern: str) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        full_name=f"synthetic {name}",
+        suite="synthetic",
+        access_pattern=pattern,
+        footprint_mb=0,
+    )
+
+
+def uniform_random(
+    num_gpus: int = 4,
+    pages: int = 512,
+    accesses_per_gpu: int = 4000,
+    write_ratio: float = 0.2,
+    phases: int = 2,
+    burst_length: int = 4,
+    seed: int = 1,
+) -> WorkloadTrace:
+    """Every GPU sprays uniformly over one shared region.
+
+    With writes this is the all-shared read-write case (access-counter
+    territory); with ``write_ratio=0`` it becomes read-shared
+    (duplication territory).
+    """
+    if pages < 1 or accesses_per_gpu < 1 or phases < 1:
+        raise TraceError("pages, accesses and phases must be positive")
+    rng = np.random.default_rng(seed)
+    region = patterns.page_range(0, pages)
+    per_phase = max(1, accesses_per_gpu // phases)
+    phase_streams = [
+        [
+            patterns.random_accesses(
+                region,
+                count=per_phase,
+                write_ratio=write_ratio,
+                rng=rng,
+                burst_length=burst_length,
+            )
+            for _ in range(num_gpus)
+        ]
+        for _ in range(phases)
+    ]
+    return WorkloadTrace(
+        name="uniform_random",
+        num_gpus=num_gpus,
+        footprint_pages=pages,
+        streams=merge_phase_streams(phase_streams),
+        spec=_spec("uniform_random", "Random"),
+        metadata={"write_ratio": write_ratio, "phases": phases},
+    )
+
+
+def hot_cold(
+    num_gpus: int = 4,
+    pages: int = 1024,
+    accesses_per_gpu: int = 4000,
+    hot_fraction: float = 0.05,
+    hot_weight: float = 0.8,
+    write_ratio: float = 0.0,
+    seed: int = 2,
+) -> WorkloadTrace:
+    """A hot prefix re-read by every GPU over a sparse cold tail.
+
+    The canonical duplication-vs-counter tradeoff: duplication pays off
+    on the hot set and wastes frames on the tail; GRIT's fault threshold
+    separates the two.
+    """
+    rng = np.random.default_rng(seed)
+    region = patterns.page_range(0, pages)
+    streams = [
+        patterns.random_accesses(
+            region,
+            count=accesses_per_gpu,
+            write_ratio=write_ratio,
+            rng=rng,
+            hot_fraction=hot_fraction,
+            hot_weight=hot_weight,
+            burst_length=2,
+        )
+        for _ in range(num_gpus)
+    ]
+    return WorkloadTrace(
+        name="hot_cold",
+        num_gpus=num_gpus,
+        footprint_pages=pages,
+        streams=streams,
+        spec=_spec("hot_cold", "Random"),
+        metadata={"hot_fraction": hot_fraction, "hot_weight": hot_weight},
+    )
+
+
+def producer_consumer(
+    num_gpus: int = 4,
+    buffer_pages: int = 64,
+    accesses_per_page: int = 16,
+    handoffs: int = 6,
+    rewrite_rounds: int = 1,
+    seed: int = 3,
+) -> WorkloadTrace:
+    """Pipelined buffers written by GPU ``g`` and read by ``g+1``.
+
+    ``rewrite_rounds`` controls how many times each buffer is
+    re-written after being consumed (each extra round forces one write
+    collapse under duplication and one more migration under on-touch).
+    """
+    if num_gpus < 2:
+        raise TraceError("producer-consumer needs at least two GPUs")
+    rng = np.random.default_rng(seed)
+    total_buffers = num_gpus * handoffs
+    total_pages = total_buffers * buffer_pages
+
+    def buffer_region(gpu: int, handoff: int) -> np.ndarray:
+        """Pages of one GPU-and-handoff buffer."""
+        index = gpu * handoffs + handoff
+        return patterns.page_range(index * buffer_pages, buffer_pages)
+
+    phase_streams = []
+    for handoff in range(handoffs):
+        per_gpu = [[] for _ in range(num_gpus)]
+        for gpu in range(num_gpus):
+            for _ in range(rewrite_rounds + 1):
+                per_gpu[gpu].append(
+                    patterns.sweep(
+                        buffer_region(gpu, handoff),
+                        accesses_per_page=accesses_per_page,
+                        write_ratio=0.9,
+                        rng=rng,
+                    )
+                )
+            if gpu > 0 and handoff > 0:
+                per_gpu[gpu].append(
+                    patterns.sweep(
+                        buffer_region(gpu - 1, handoff - 1),
+                        accesses_per_page=accesses_per_page,
+                        write_ratio=0.0,
+                    )
+                )
+        phase_streams.append(
+            [patterns.concat(streams) for streams in per_gpu]
+        )
+    return WorkloadTrace(
+        name="producer_consumer",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phase_streams),
+        spec=_spec("producer_consumer", "Adjacent"),
+        metadata={"handoffs": handoffs, "rewrite_rounds": rewrite_rounds},
+    )
+
+
+def halo_exchange(
+    num_gpus: int = 4,
+    chunk_pages: int = 128,
+    boundary_fraction: float = 0.25,
+    iterations: int = 6,
+    accesses_per_page: int = 6,
+    write_ratio: float = 0.4,
+    seed: int = 4,
+) -> WorkloadTrace:
+    """Stencil-style bands: each GPU sweeps its band and reads both
+    neighbours' boundary strips every iteration."""
+    if not 0.0 < boundary_fraction <= 1.0:
+        raise TraceError("boundary_fraction must be within (0, 1]")
+    rng = np.random.default_rng(seed)
+    total_pages = num_gpus * chunk_pages
+    chunks = patterns.split_region(0, total_pages, num_gpus)
+    boundary = max(1, int(chunk_pages * boundary_fraction))
+
+    phase_streams = []
+    for _ in range(iterations):
+        per_gpu = []
+        for gpu in range(num_gpus):
+            streams = [
+                patterns.sweep(
+                    chunks[gpu],
+                    accesses_per_page=accesses_per_page,
+                    write_ratio=write_ratio,
+                    rng=rng,
+                )
+            ]
+            if gpu > 0:
+                streams.append(
+                    patterns.sweep(
+                        chunks[gpu - 1][-boundary:], 2, write_ratio=0.0
+                    )
+                )
+            if gpu + 1 < num_gpus:
+                streams.append(
+                    patterns.sweep(
+                        chunks[gpu + 1][:boundary], 2, write_ratio=0.0
+                    )
+                )
+            per_gpu.append(patterns.concat(streams))
+        phase_streams.append(per_gpu)
+    return WorkloadTrace(
+        name="halo_exchange",
+        num_gpus=num_gpus,
+        footprint_pages=total_pages,
+        streams=merge_phase_streams(phase_streams),
+        spec=_spec("halo_exchange", "Adjacent"),
+        metadata={
+            "boundary_fraction": boundary_fraction,
+            "iterations": iterations,
+        },
+    )

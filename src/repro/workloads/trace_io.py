@@ -1,0 +1,101 @@
+"""Trace persistence: save/load :class:`WorkloadTrace` as ``.npz``.
+
+The simulator is trace-driven, so any external tool (a real GPU
+profiler, another simulator, a custom generator) can feed it by writing
+this format: one compressed numpy archive holding, per GPU ``i``,
+``vpns_i`` (int64, 4 KB virtual page numbers) and ``writes_i`` (bool),
+plus a small JSON metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads.base import WorkloadSpec, WorkloadTrace
+
+#: Format version written into every archive.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: WorkloadTrace, path: str | os.PathLike) -> None:
+    """Write a trace to ``path`` (``.npz``, compressed)."""
+    arrays = {}
+    for gpu, (vpns, writes) in enumerate(trace.streams):
+        arrays[f"vpns_{gpu}"] = vpns.astype(np.int64)
+        arrays[f"writes_{gpu}"] = writes.astype(bool)
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "num_gpus": trace.num_gpus,
+        "footprint_pages": trace.footprint_pages,
+        "metadata": _jsonable(trace.metadata),
+    }
+    if trace.spec is not None:
+        meta["spec"] = {
+            "name": trace.spec.name,
+            "full_name": trace.spec.full_name,
+            "suite": trace.spec.suite,
+            "access_pattern": trace.spec.access_pattern,
+            "footprint_mb": trace.spec.footprint_mb,
+        }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_trace(path: str | os.PathLike) -> WorkloadTrace:
+    """Read a trace written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        if "meta_json" not in archive:
+            raise TraceError(f"{path}: not a repro trace archive")
+        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode("utf-8"))
+        version = meta.get("version")
+        if version != FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format version {version!r}"
+            )
+        num_gpus = meta["num_gpus"]
+        streams: List[Tuple[np.ndarray, np.ndarray]] = []
+        for gpu in range(num_gpus):
+            try:
+                vpns = archive[f"vpns_{gpu}"]
+                writes = archive[f"writes_{gpu}"]
+            except KeyError:
+                raise TraceError(
+                    f"{path}: missing stream arrays for GPU {gpu}"
+                ) from None
+            streams.append(
+                (vpns.astype(np.int64), writes.astype(bool))
+            )
+    spec = None
+    if "spec" in meta:
+        spec = WorkloadSpec(**meta["spec"])
+    return WorkloadTrace(
+        name=meta["name"],
+        num_gpus=num_gpus,
+        footprint_pages=meta["footprint_pages"],
+        streams=streams,
+        spec=spec,
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def _jsonable(value):
+    """Coerce metadata values into JSON-serializable types."""
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

@@ -1,0 +1,64 @@
+"""Attribute maps (Figures 6-8) and neighbor agreement."""
+
+import numpy as np
+
+from repro.analysis.attributes import (
+    PRIVATE,
+    READ,
+    READ_WRITE,
+    SHARED,
+    UNTOUCHED,
+    AttributeMap,
+    attribute_map,
+)
+from repro.workloads import make_workload
+from tests.conftest import build_trace
+
+
+class TestAttributeMap:
+    def test_codes_for_hand_built_trace(self):
+        trace = build_trace(
+            [
+                [(0, False), (1, True)],
+                [(0, False)],
+            ],
+            footprint_pages=3,
+        )
+        amap = attribute_map(trace, num_intervals=1)
+        assert amap.sharing[0, 0] == SHARED
+        assert amap.sharing[0, 1] == PRIVATE
+        assert amap.sharing[0, 2] == UNTOUCHED
+        assert amap.read_write[0, 0] == READ
+        assert amap.read_write[0, 1] == READ_WRITE
+
+    def test_max_pages_caps_columns(self):
+        trace = make_workload("gemm", scale=0.1)
+        amap = attribute_map(trace, num_intervals=10, max_pages=50)
+        assert amap.sharing.shape[1] == 50
+
+    def test_neighbor_agreement_bounds(self):
+        matrix = np.array([[PRIVATE, PRIVATE, SHARED]], dtype=np.int8)
+        amap = AttributeMap(
+            pages=np.arange(3), sharing=matrix, read_write=matrix
+        )
+        assert amap.neighbor_agreement(matrix) == 0.5
+
+    def test_neighbor_agreement_ignores_untouched(self):
+        matrix = np.array([[PRIVATE, UNTOUCHED, PRIVATE]], dtype=np.int8)
+        amap = AttributeMap(
+            pages=np.arange(3), sharing=matrix, read_write=matrix
+        )
+        # No adjacent pair has both cells touched.
+        assert amap.neighbor_agreement(matrix) == 0.0
+
+
+class TestPaperObservation:
+    def test_neighbors_agree_in_gemm_and_st(self):
+        """Section IV-C: consecutive pages share attributes, which is
+        what justifies Neighboring-Aware Prediction."""
+        for app in ("gemm", "st"):
+            amap = attribute_map(
+                make_workload(app, scale=0.15), num_intervals=20
+            )
+            assert amap.neighbor_agreement(amap.sharing) > 0.85
+            assert amap.neighbor_agreement(amap.read_write) > 0.80

@@ -1,0 +1,104 @@
+"""Trace characterization: timelines and shared-page classification."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    build_timeline,
+    classify_shared_pages,
+    page_interval_profile,
+    sharing_summary,
+)
+from tests.conftest import build_trace
+from repro.workloads import make_workload
+
+
+class TestSharingSummary:
+    def test_counts_match_hand_built_trace(self, two_gpu_trace):
+        summary = sharing_summary(two_gpu_trace)
+        # Pages: 0 (shared RW), 1 and 2 (private RW).
+        assert summary.total_pages == 3
+        assert summary.shared_page_fraction == pytest.approx(1 / 3)
+        assert summary.read_write_page_fraction == 1.0
+
+
+class TestBuildTimeline:
+    def test_interval_count_close_to_requested(self, two_gpu_trace):
+        timeline = build_timeline(two_gpu_trace, num_intervals=4)
+        assert 1 <= timeline.num_intervals <= 4
+
+    def test_all_accesses_recorded(self, two_gpu_trace):
+        timeline = build_timeline(two_gpu_trace, num_intervals=4)
+        recorded = sum(
+            timeline.sample(i, vpn).reads + timeline.sample(i, vpn).writes
+            for i in range(timeline.num_intervals)
+            for vpn in timeline.pages_in_interval(i)
+        )
+        assert recorded == two_gpu_trace.total_accesses
+
+    def test_rejects_zero_intervals(self, two_gpu_trace):
+        with pytest.raises(ValueError):
+            build_timeline(two_gpu_trace, num_intervals=0)
+
+
+class TestPageIntervalProfile:
+    def test_profile_shares_sum_to_one(self, two_gpu_trace):
+        timeline = build_timeline(two_gpu_trace, num_intervals=2)
+        rows = page_interval_profile(timeline, 0)
+        for row in rows:
+            if row["accesses"]:
+                assert sum(row["per_gpu"]) == pytest.approx(1.0)
+
+    def test_untouched_intervals_are_zero(self):
+        trace = build_trace(
+            [[(0, False)] * 4 + [(1, False)] * 4], footprint_pages=4
+        )
+        timeline = build_timeline(trace, num_intervals=2)
+        rows = page_interval_profile(timeline, 1)
+        assert rows[0]["accesses"] == 0
+        assert rows[1]["accesses"] == 4
+
+
+class TestClassifySharedPages:
+    def test_pc_shared_page_detected(self):
+        # Page 0: GPU 0 exclusively early, GPU 1 exclusively late.
+        trace = build_trace(
+            [
+                [(0, True)] * 8 + [(1, False)] * 8,
+                [(1, False)] * 8 + [(0, False)] * 8,
+            ],
+            footprint_pages=4,
+        )
+        timeline = build_timeline(trace, num_intervals=2)
+        classes = classify_shared_pages(timeline)
+        assert 0 in classes["pc_shared"]
+
+    def test_all_shared_page_detected(self):
+        # Both GPUs hammer page 0 in every interval.
+        trace = build_trace(
+            [[(0, False)] * 16, [(0, True)] * 16], footprint_pages=4
+        )
+        timeline = build_timeline(trace, num_intervals=4)
+        classes = classify_shared_pages(timeline)
+        assert 0 in classes["all_shared"]
+
+    def test_private_pages_excluded(self):
+        trace = build_trace(
+            [[(0, False)] * 4, [(1, False)] * 4], footprint_pages=4
+        )
+        timeline = build_timeline(trace, num_intervals=2)
+        classes = classify_shared_pages(timeline)
+        assert classes["pc_shared"] == []
+        assert classes["all_shared"] == []
+
+    def test_paper_contrast_c2d_vs_st(self):
+        """C2D's shared pages skew PC-shared; ST's skew all-shared."""
+        c2d = build_timeline(make_workload("c2d", scale=0.15), 32)
+        st = build_timeline(make_workload("st", scale=0.15), 32)
+        c2d_classes = classify_shared_pages(c2d)
+        st_classes = classify_shared_pages(st)
+
+        def pc_fraction(classes):
+            total = len(classes["pc_shared"]) + len(classes["all_shared"])
+            return len(classes["pc_shared"]) / total if total else 0.0
+
+        assert pc_fraction(c2d_classes) > pc_fraction(st_classes)

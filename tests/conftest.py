@@ -1,0 +1,72 @@
+"""Shared fixtures: small configs and hand-built traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GritConfig, LatencyModel, SystemConfig, TLBConfig
+from repro.workloads.base import WorkloadTrace
+
+
+@pytest.fixture
+def config() -> SystemConfig:
+    """Baseline Table I configuration (4 GPUs, 4 KB pages)."""
+    return SystemConfig()
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """Tiny 2-GPU configuration for fast unit tests."""
+    return SystemConfig(
+        num_gpus=2,
+        l1_tlb=TLBConfig(entries=4, ways=4, lookup_latency=1),
+        l2_tlb=TLBConfig(entries=16, ways=4, lookup_latency=10),
+    )
+
+
+@pytest.fixture
+def latency() -> LatencyModel:
+    return LatencyModel()
+
+
+@pytest.fixture
+def grit_config() -> GritConfig:
+    return GritConfig()
+
+
+def build_trace(
+    streams: list[list[tuple[int, bool]]],
+    footprint_pages: int | None = None,
+    name: str = "manual",
+) -> WorkloadTrace:
+    """Build a trace from explicit per-GPU (vpn, is_write) lists."""
+    arrays = []
+    max_vpn = 0
+    for accesses in streams:
+        if accesses:
+            vpns = np.array([vpn for vpn, _ in accesses], dtype=np.int64)
+            writes = np.array([w for _, w in accesses], dtype=bool)
+            max_vpn = max(max_vpn, int(vpns.max()))
+        else:
+            vpns = np.empty(0, dtype=np.int64)
+            writes = np.empty(0, dtype=bool)
+        arrays.append((vpns, writes))
+    return WorkloadTrace(
+        name=name,
+        num_gpus=len(streams),
+        footprint_pages=footprint_pages or (max_vpn + 1),
+        streams=arrays,
+    )
+
+
+@pytest.fixture
+def two_gpu_trace() -> WorkloadTrace:
+    """Two GPUs ping-ponging on page 0, private pages 1 and 2."""
+    return build_trace(
+        [
+            [(0, False), (1, False), (0, True), (1, True)],
+            [(0, False), (2, False), (0, True), (2, True)],
+        ],
+        footprint_pages=16,
+    )

@@ -1,0 +1,44 @@
+"""Scheme decision mechanism (Table III / Figure 13)."""
+
+from repro.constants import Scheme
+from repro.core.decision import POLICY_PREFERENCE, decide_scheme
+
+
+class TestDecideScheme:
+    def test_read_only_pages_duplicate(self):
+        assert decide_scheme(rw_bit=0) is Scheme.DUPLICATION
+
+    def test_written_pages_use_access_counter(self):
+        assert decide_scheme(rw_bit=1) is Scheme.ACCESS_COUNTER
+
+
+class TestPolicyPreferenceTable:
+    def test_covers_all_six_classes(self):
+        assert set(POLICY_PREFERENCE) == {
+            (rw, sharing)
+            for rw in ("read", "read-write")
+            for sharing in ("private", "pc-shared", "all-shared")
+        }
+
+    def test_all_shared_read_prefers_duplication(self):
+        assert POLICY_PREFERENCE[("read", "all-shared")] == (
+            Scheme.DUPLICATION,
+        )
+
+    def test_all_shared_read_write_prefers_access_counter(self):
+        assert POLICY_PREFERENCE[("read-write", "all-shared")] == (
+            Scheme.ACCESS_COUNTER,
+        )
+
+    def test_private_read_write_prefers_on_touch_only(self):
+        assert POLICY_PREFERENCE[("read-write", "private")] == (
+            Scheme.ON_TOUCH,
+        )
+
+    def test_decision_consistent_with_table_for_shared_pages(self):
+        # The collapsed mechanism decides for *shared* pages only; its
+        # outputs must be acceptable per Table III's shared columns.
+        assert decide_scheme(0) in POLICY_PREFERENCE[("read", "all-shared")]
+        assert decide_scheme(1) in POLICY_PREFERENCE[
+            ("read-write", "all-shared")
+        ]

@@ -1,0 +1,102 @@
+"""Fault-Aware Initiator: threshold detection and PA-path latency."""
+
+import pytest
+
+from repro.config import GritConfig, LatencyModel
+from repro.constants import FaultKind
+from repro.core.initiator import FaultAwareInitiator
+
+
+def make_initiator(threshold=4, use_pa_cache=True):
+    return FaultAwareInitiator(
+        GritConfig(fault_threshold=threshold, use_pa_cache=use_pa_cache),
+        LatencyModel(),
+    )
+
+
+class TestThreshold:
+    def test_threshold_fires_on_nth_fault(self):
+        initiator = make_initiator(threshold=4)
+        for _ in range(3):
+            outcome = initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+            assert not outcome.threshold_reached
+        outcome = initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        assert outcome.threshold_reached
+        assert initiator.thresholds_fired == 1
+
+    def test_entry_deleted_after_firing(self):
+        initiator = make_initiator(threshold=2)
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        # Counting restarts from zero.
+        outcome = initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        assert not outcome.threshold_reached
+
+    def test_rw_bit_from_protection_fault(self):
+        initiator = make_initiator(threshold=2)
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        outcome = initiator.observe_fault(7, FaultKind.PAGE_PROTECTION_FAULT)
+        assert outcome.threshold_reached
+        assert outcome.rw_bit == 1
+
+    def test_rw_bit_from_access_type_overrides_kind(self):
+        initiator = make_initiator(threshold=2)
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT, is_write=True)
+        outcome = initiator.observe_fault(
+            7, FaultKind.LOCAL_PAGE_FAULT, is_write=False
+        )
+        assert outcome.threshold_reached
+        assert outcome.rw_bit == 1  # sticky from the earlier write
+
+    def test_read_only_page_reports_rw_zero(self):
+        initiator = make_initiator(threshold=2)
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT, is_write=False)
+        outcome = initiator.observe_fault(
+            7, FaultKind.LOCAL_PAGE_FAULT, is_write=False
+        )
+        assert outcome.rw_bit == 0
+
+    def test_pages_counted_independently(self):
+        initiator = make_initiator(threshold=2)
+        initiator.observe_fault(1, FaultKind.LOCAL_PAGE_FAULT)
+        outcome = initiator.observe_fault(2, FaultKind.LOCAL_PAGE_FAULT)
+        assert not outcome.threshold_reached
+
+
+class TestPAPathLatency:
+    def test_pa_cache_hides_latency_on_hits(self):
+        initiator = make_initiator()
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        outcome = initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        assert outcome.extra_latency == 0
+
+    def test_without_pa_cache_every_fault_pays_memory_access(self):
+        initiator = make_initiator(use_pa_cache=False)
+        latency = LatencyModel().pa_table_memory_access
+        for _ in range(3):
+            outcome = initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+            assert outcome.extra_latency == latency
+
+    def test_without_pa_cache_state_persists(self):
+        initiator = make_initiator(threshold=3, use_pa_cache=False)
+        initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        initiator.observe_fault(7, FaultKind.PAGE_PROTECTION_FAULT)
+        outcome = initiator.observe_fault(7, FaultKind.LOCAL_PAGE_FAULT)
+        assert outcome.threshold_reached
+        assert outcome.rw_bit == 1
+
+    def test_entries_survive_cache_eviction(self):
+        initiator = make_initiator(threshold=3)
+        initiator.observe_fault(0, FaultKind.LOCAL_PAGE_FAULT)
+        initiator.observe_fault(0, FaultKind.LOCAL_PAGE_FAULT)
+        # Evict set 0 (VPNs congruent mod 16) past 4 ways.
+        for vpn in (16, 32, 48, 64):
+            initiator.observe_fault(vpn, FaultKind.LOCAL_PAGE_FAULT)
+        outcome = initiator.observe_fault(0, FaultKind.LOCAL_PAGE_FAULT)
+        assert outcome.threshold_reached
+
+    def test_fault_observation_counter(self):
+        initiator = make_initiator()
+        for vpn in range(5):
+            initiator.observe_fault(vpn, FaultKind.LOCAL_PAGE_FAULT)
+        assert initiator.faults_observed == 5

@@ -1,0 +1,178 @@
+"""Neighboring-Aware Prediction: promotion, propagation, degradation."""
+
+import pytest
+
+from repro.constants import GroupBits, Scheme
+from repro.core.neighbor import NeighboringAwarePredictor
+from repro.memsys.page_table import CentralPageTable
+
+
+@pytest.fixture
+def pt() -> CentralPageTable:
+    return CentralPageTable(default_scheme=Scheme.ON_TOUCH)
+
+
+@pytest.fixture
+def predictor(pt: CentralPageTable) -> NeighboringAwarePredictor:
+    return NeighboringAwarePredictor(pt)
+
+
+def set_schemes(pt, vpns, scheme):
+    for vpn in vpns:
+        pt.get(vpn).scheme = scheme
+
+
+class TestPromotion:
+    def test_majority_promotes_8_group(self, pt, predictor):
+        # Pages 0-4 already duplication; page 5 changes to duplication.
+        set_schemes(pt, range(5), Scheme.DUPLICATION)
+        pt.get(5).scheme = Scheme.DUPLICATION
+        outcome = predictor.on_scheme_change(
+            5, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert outcome.promotions == 1
+        assert pt.get(0).group is GroupBits.GROUP_8
+        # All eight pages now carry the scheme.
+        for vpn in range(8):
+            assert pt.get(vpn).scheme is Scheme.DUPLICATION
+
+    def test_propagated_pages_report_old_scheme(self, pt, predictor):
+        set_schemes(pt, range(5), Scheme.DUPLICATION)
+        pt.get(6).scheme = Scheme.ACCESS_COUNTER
+        pt.get(5).scheme = Scheme.DUPLICATION
+        outcome = predictor.on_scheme_change(
+            5, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        changed = dict(outcome.propagated)
+        assert changed[6] is Scheme.ACCESS_COUNTER
+
+    def test_minority_does_not_promote(self, pt, predictor):
+        set_schemes(pt, range(3), Scheme.DUPLICATION)  # 3+self = 4, not >4
+        pt.get(5).scheme = Scheme.DUPLICATION
+        outcome = predictor.on_scheme_change(
+            5, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert outcome.promotions == 0
+        assert pt.get(0).group is GroupBits.SINGLE
+
+    def test_unmaterialized_neighbors_count_as_mismatch(self, pt, predictor):
+        pt.get(5).scheme = Scheme.DUPLICATION
+        outcome = predictor.on_scheme_change(
+            5, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert outcome.promotions == 0
+
+    def test_recursive_promotion_to_64(self, pt, predictor):
+        # Seven intact 8-groups with duplication plus one majority-8
+        # neighborhood around the changing page.
+        for sub in range(1, 8):
+            base = sub * 8
+            set_schemes(pt, range(base, base + 8), Scheme.DUPLICATION)
+            pt.get(base).group = GroupBits.GROUP_8
+        set_schemes(pt, range(0, 7), Scheme.DUPLICATION)
+        pt.get(7).scheme = Scheme.DUPLICATION
+        outcome = predictor.on_scheme_change(
+            7, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert outcome.promotions == 2
+        assert pt.get(0).group is GroupBits.GROUP_64
+        # Former sub-group bases are cleared (bits live on one base only).
+        assert pt.get(8).group is GroupBits.SINGLE
+
+    def test_same_scheme_skips_group_check(self, pt, predictor):
+        set_schemes(pt, range(8), Scheme.ACCESS_COUNTER)
+        outcome = predictor.on_scheme_change(
+            3, Scheme.ACCESS_COUNTER, Scheme.ACCESS_COUNTER
+        )
+        assert outcome.promotions == 0
+        assert outcome.degradations == 0
+        assert pt.get(0).group is GroupBits.SINGLE
+
+    def test_max_group_pages_caps_promotion(self, pt):
+        predictor = NeighboringAwarePredictor(pt, max_group_pages=8)
+        for sub in range(8):
+            set_schemes(pt, range(sub * 8, sub * 8 + 8), Scheme.DUPLICATION)
+            if sub:
+                pt.get(sub * 8).group = GroupBits.GROUP_8
+        outcome = predictor.on_scheme_change(
+            0, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert outcome.promotions == 1
+        assert pt.get(0).group is GroupBits.GROUP_8
+
+    def test_disabled_predictor_with_single_pages(self, pt):
+        predictor = NeighboringAwarePredictor(pt, max_group_pages=1)
+        set_schemes(pt, range(8), Scheme.DUPLICATION)
+        outcome = predictor.on_scheme_change(
+            0, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert outcome.promotions == 0
+
+
+class TestDegradation:
+    def _build_64_group(self, pt, scheme=Scheme.DUPLICATION):
+        set_schemes(pt, range(64), scheme)
+        pt.get(0).group = GroupBits.GROUP_64
+
+    def test_divergence_degrades_64_group(self, pt, predictor):
+        self._build_64_group(pt)
+        pt.get(20).scheme = Scheme.ACCESS_COUNTER
+        outcome = predictor.on_scheme_change(
+            20, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
+        )
+        assert outcome.degradations == 2  # 64 -> 8x8, then affected 8 -> singles
+        # The affected 8-group (pages 16-23) becomes singles.
+        assert pt.get(16).group is GroupBits.SINGLE
+        # Other subgroups stay intact 8-groups.
+        assert pt.get(0).group is GroupBits.GROUP_8
+        assert pt.get(8).group is GroupBits.GROUP_8
+        assert pt.get(24).group is GroupBits.GROUP_8
+
+    def test_degradation_preserves_other_pages_schemes(self, pt, predictor):
+        self._build_64_group(pt)
+        pt.get(20).scheme = Scheme.ACCESS_COUNTER
+        predictor.on_scheme_change(
+            20, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
+        )
+        assert pt.get(21).scheme is Scheme.DUPLICATION
+        assert pt.get(0).scheme is Scheme.DUPLICATION
+
+    def test_divergence_in_8_group(self, pt, predictor):
+        set_schemes(pt, range(8), Scheme.DUPLICATION)
+        pt.get(0).group = GroupBits.GROUP_8
+        pt.get(3).scheme = Scheme.ACCESS_COUNTER
+        outcome = predictor.on_scheme_change(
+            3, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
+        )
+        assert outcome.degradations == 1
+        assert pt.get(0).group is GroupBits.SINGLE
+
+    def test_containing_group_lookup(self, pt, predictor):
+        self._build_64_group(pt)
+        assert predictor.containing_group(40) == (0, GroupBits.GROUP_64)
+        assert predictor.containing_group(100) == (100, GroupBits.SINGLE)
+
+    def test_group_scheme_of(self, pt, predictor):
+        self._build_64_group(pt, scheme=Scheme.DUPLICATION)
+        assert predictor.group_scheme_of(33) is Scheme.DUPLICATION
+        assert predictor.group_scheme_of(100) is None
+
+
+class TestPromotionAfterDegradation:
+    def test_scheme_flip_can_rebuild_group(self, pt, predictor):
+        set_schemes(pt, range(8), Scheme.DUPLICATION)
+        pt.get(0).group = GroupBits.GROUP_8
+        # Five pages flip to AC one by one; the fifth flip sees a
+        # majority and promotes the group to AC.
+        for vpn in range(4):
+            pt.get(vpn).scheme = Scheme.ACCESS_COUNTER
+            predictor.on_scheme_change(
+                vpn, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
+            )
+        pt.get(4).scheme = Scheme.ACCESS_COUNTER
+        outcome = predictor.on_scheme_change(
+            4, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
+        )
+        assert outcome.promotions == 1
+        for vpn in range(8):
+            assert pt.get(vpn).scheme is Scheme.ACCESS_COUNTER

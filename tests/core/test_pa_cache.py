@@ -1,0 +1,103 @@
+"""PA-Cache: 4-way sets indexed by low VPN bits, LRU, write-back."""
+
+import pytest
+
+from repro.core.pa_cache import PACache
+from repro.core.pa_table import PAEntry, PATable
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def table() -> PATable:
+    return PATable()
+
+
+@pytest.fixture
+def cache(table: PATable) -> PACache:
+    return PACache(table, entries=64, ways=4)
+
+
+class TestPACacheAccess:
+    def test_cold_access_registers_fresh_entry(self, cache):
+        entry, hit = cache.access(5)
+        assert not hit
+        assert entry.vpn == 5
+        assert entry.fault_counter == 0
+
+    def test_second_access_hits(self, cache):
+        cache.access(5)
+        entry, hit = cache.access(5)
+        assert hit
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_updates_stay_in_cache_not_table(self, cache, table):
+        entry, _ = cache.access(5)
+        entry.record_fault(True)
+        # Write-allocate + write-back: nothing reaches the table yet.
+        assert 5 not in table
+
+    def test_miss_fills_from_table(self, cache, table):
+        table.insert(PAEntry(vpn=9, rw_bit=1, fault_counter=2))
+        entry, hit = cache.access(9)
+        assert not hit
+        assert entry.fault_counter == 2
+        assert cache.table_fills == 1
+        # Moved into the cache (write-allocate).
+        assert 9 not in table
+
+    def test_low_4_bits_index_sets(self, cache):
+        # 64 entries / 4 ways = 16 sets; VPNs 0, 16, 32, 48, 64 collide.
+        for vpn in (0, 16, 32, 48):
+            cache.access(vpn)
+        cache.access(64)  # evicts LRU (vpn 0) to the table
+        assert cache.writebacks == 1
+
+    def test_eviction_writes_back_to_table(self, cache, table):
+        entries = [cache.access(vpn)[0] for vpn in (0, 16, 32, 48)]
+        entries[0].record_fault(True)
+        cache.access(64)
+        victim = table.lookup(0)
+        assert victim is not None
+        assert victim.rw_bit == 1
+
+    def test_lru_within_set(self, cache, table):
+        for vpn in (0, 16, 32, 48):
+            cache.access(vpn)
+        cache.access(0)  # refresh 0; LRU is now 16
+        cache.access(64)
+        assert table.lookup(16) is not None
+        assert table.lookup(0) is None  # still cached
+
+
+class TestPACacheDelete:
+    def test_delete_removes_from_both_levels(self, cache, table):
+        cache.access(5)
+        table.insert(PAEntry(vpn=6))
+        cache.delete(5)
+        cache.delete(6)
+        _, hit = cache.access(5)
+        assert not hit
+        assert table.lookup(6) is None
+
+    def test_flush_to_table(self, cache, table):
+        for vpn in range(8):
+            cache.access(vpn)
+        cache.flush_to_table()
+        assert len(cache) == 0
+        assert len(table) == 8
+
+
+class TestPACacheGeometry:
+    def test_rejects_bad_geometry(self, table):
+        with pytest.raises(ConfigError):
+            PACache(table, entries=10, ways=4)
+
+    def test_rejects_non_power_of_two_sets(self, table):
+        with pytest.raises(ConfigError):
+            PACache(table, entries=12, ways=4)
+
+    def test_capacity_bounded(self, cache):
+        for vpn in range(1000):
+            cache.access(vpn)
+        assert len(cache) <= 64

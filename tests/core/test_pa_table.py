@@ -1,0 +1,91 @@
+"""PA-Table: entry lifecycle and footprint accounting (Section V-C)."""
+
+from repro.core.pa_table import ENTRY_BITS, PAEntry, PATable
+
+
+class TestPAEntry:
+    def test_fresh_entry_matches_paper_init(self):
+        entry = PAEntry(vpn=5)
+        assert entry.rw_bit == 0
+        assert entry.fault_counter == 0
+
+    def test_record_read_fault(self):
+        entry = PAEntry(vpn=5)
+        entry.record_fault(is_write=False)
+        assert entry.fault_counter == 1
+        assert entry.rw_bit == 0
+
+    def test_rw_bit_is_sticky(self):
+        entry = PAEntry(vpn=5)
+        entry.record_fault(is_write=True)
+        entry.record_fault(is_write=False)
+        assert entry.rw_bit == 1
+        assert entry.fault_counter == 2
+
+
+class TestPATable:
+    def test_lookup_miss(self):
+        table = PATable()
+        assert table.lookup(3) is None
+        assert table.lookups == 1
+
+    def test_insert_and_lookup(self):
+        table = PATable()
+        table.insert(PAEntry(vpn=3, rw_bit=1, fault_counter=2))
+        entry = table.lookup(3)
+        assert entry.rw_bit == 1
+        assert entry.fault_counter == 2
+        assert 3 in table
+
+    def test_remove_counts_deletion(self):
+        table = PATable()
+        table.insert(PAEntry(vpn=3))
+        assert table.remove(3) is not None
+        assert table.deletions == 1
+        assert table.remove(3) is None
+        assert table.deletions == 1
+
+    def test_take_does_not_count_deletion(self):
+        table = PATable()
+        table.insert(PAEntry(vpn=3))
+        assert table.take(3) is not None
+        assert table.deletions == 0
+        assert 3 not in table
+
+    def test_entry_is_48_bits(self):
+        # 45-bit VPN + 2-bit counter + 1-bit RW (Section V-F).
+        assert ENTRY_BITS == 48
+
+    def test_footprint_tracks_entries(self):
+        table = PATable()
+        for vpn in range(10):
+            table.insert(PAEntry(vpn=vpn))
+        assert table.footprint_bits() == 10 * 48
+        assert len(table) == 10
+
+    def test_footprint_fraction_matches_paper_overhead(self):
+        # 48 bits per 4 KB page = 0.15% of the footprint (Section V-F).
+        page_bits = 4096 * 8
+        assert ENTRY_BITS / page_bits == 0.00146484375  # ~0.15%
+
+
+class TestPAEntryPacking:
+    def test_round_trip(self):
+        entry = PAEntry(vpn=(1 << 45) - 7, rw_bit=1, fault_counter=2)
+        assert PAEntry.decode(entry.encode()) == entry
+
+    def test_word_fits_48_bits(self):
+        entry = PAEntry(vpn=(1 << 45) - 1, rw_bit=1, fault_counter=3)
+        assert entry.encode() < (1 << ENTRY_BITS)
+
+    def test_counter_saturates_in_hardware_word(self):
+        entry = PAEntry(vpn=5, fault_counter=9)
+        decoded = PAEntry.decode(entry.encode())
+        assert decoded.fault_counter == 3  # 2-bit field maximum
+
+    def test_fields_do_not_alias(self):
+        entry = PAEntry(vpn=(1 << 45) - 1, rw_bit=0, fault_counter=0)
+        decoded = PAEntry.decode(entry.encode())
+        assert decoded.rw_bit == 0
+        assert decoded.fault_counter == 0
+        assert decoded.vpn == (1 << 45) - 1

@@ -1,0 +1,126 @@
+"""Paper-text scenarios replayed verbatim against the GRIT mechanism.
+
+Each test scripts a worked example from Section V of the paper and
+checks the implementation does exactly what the text describes.
+"""
+
+from repro.config import GritConfig, LatencyModel
+from repro.constants import FaultKind, GroupBits, Scheme
+from repro.core.grit import GritMechanism
+from repro.core.neighbor import NeighboringAwarePredictor
+from repro.memsys.page_table import CentralPageTable
+
+
+def make_grit(threshold=4):
+    pt = CentralPageTable(default_scheme=Scheme.ON_TOUCH)
+    return GritMechanism(
+        GritConfig(fault_threshold=threshold), LatencyModel(), pt
+    )
+
+
+class TestFigure15Flow:
+    """Figure 15: threshold -> 8-group promotion -> 64-group promotion."""
+
+    def test_steps_one_through_four(self):
+        grit = make_grit(threshold=4)
+        pt = grit.page_table
+
+        # Step 1: page 3 reaches the fault threshold with read faults.
+        for _ in range(3):
+            change = grit.observe_fault(3, FaultKind.LOCAL_PAGE_FAULT, False)
+            assert not change.decision_made
+        # Pre-set the neighbourhood the way the figure draws it: more
+        # than half of pages 0-7 already carry the new scheme.
+        for vpn in (0, 1, 2, 4, 5):
+            pt.get(vpn).scheme = Scheme.DUPLICATION
+        change = grit.observe_fault(3, FaultKind.LOCAL_PAGE_FAULT, False)
+        assert change.decision_made
+        assert change.new_scheme is Scheme.DUPLICATION
+
+        # Steps 2-3: all eight pages adopt the scheme, the base page's
+        # group bits become "01".
+        assert pt.get(0).group is GroupBits.GROUP_8
+        for vpn in range(8):
+            assert pt.get(vpn).scheme is Scheme.DUPLICATION
+        assert change.promotions >= 1
+
+        # Step 4: with the seven sibling 8-groups already intact and
+        # using the scheme, the next decision promotes to "10" (64).
+        for sub in range(1, 8):
+            base = sub * 8
+            for vpn in range(base, base + 8):
+                pt.get(vpn).scheme = Scheme.DUPLICATION
+            pt.get(base).group = GroupBits.GROUP_8
+        predictor = grit.predictor
+        outcome = predictor.on_scheme_change(
+            3, Scheme.DUPLICATION, Scheme.ON_TOUCH
+        )
+        assert pt.get(0).group is GroupBits.GROUP_64
+        assert outcome.promotions >= 1
+
+
+class TestSectionVDDegradation:
+    """'if the group bits are initially 10 ... the 64-page group is
+    degraded into eight 8-page groups' with the affected one at 00."""
+
+    def test_64_group_degrades_exactly_as_described(self):
+        pt = CentralPageTable(default_scheme=Scheme.DUPLICATION)
+        predictor = NeighboringAwarePredictor(pt)
+        for vpn in range(64):
+            pt.get(vpn).scheme = Scheme.DUPLICATION
+        pt.get(0).group = GroupBits.GROUP_64
+
+        # One page inside the third subgroup changes scheme.
+        pt.get(20).scheme = Scheme.ACCESS_COUNTER
+        predictor.on_scheme_change(20, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION)
+
+        # The affected subgroup (pages 16-23) has group bits 00 ...
+        assert pt.get(16).group is GroupBits.SINGLE
+        # ... and the other seven 8-page groups keep bits 01.
+        for sub_base in (0, 8, 24, 32, 40, 48, 56):
+            assert pt.get(sub_base).group is GroupBits.GROUP_8
+
+
+class TestSectionVDSkipRule:
+    """The paper's three-duplication-pages example: a repeated
+    access-counter decision must NOT re-run the group check, or the
+    three duplication pages would be flipped back."""
+
+    def test_repeated_ac_decision_leaves_duplication_pages_alone(self):
+        pt = CentralPageTable(default_scheme=Scheme.ACCESS_COUNTER)
+        predictor = NeighboringAwarePredictor(pt)
+        # Eight pages all on access-counter; three flip to duplication
+        # one by one (each time, 3 < majority, so no promotion).
+        for vpn in range(8):
+            pt.get(vpn).scheme = Scheme.ACCESS_COUNTER
+        for vpn in (0, 1, 2):
+            pt.get(vpn).scheme = Scheme.DUPLICATION
+            outcome = predictor.on_scheme_change(
+                vpn, Scheme.DUPLICATION, Scheme.ACCESS_COUNTER
+            )
+            assert outcome.promotions == 0
+
+        # A fourth page re-decides access-counter (same as its current
+        # scheme): the group check is skipped entirely.
+        outcome = predictor.on_scheme_change(
+            4, Scheme.ACCESS_COUNTER, Scheme.ACCESS_COUNTER
+        )
+        assert outcome.promotions == 0
+        assert outcome.degradations == 0
+        # The three duplication pages were not flipped back.
+        for vpn in (0, 1, 2):
+            assert pt.get(vpn).scheme is Scheme.DUPLICATION
+
+
+class TestPrivatePageClaim:
+    """Section V-C: 'private pages do not trigger any updates ... and
+    page placement scheme changes are not initiated for such pages'."""
+
+    def test_single_fault_never_changes_scheme(self):
+        grit = make_grit(threshold=4)
+        # A private page faults exactly once (first touch) and then is
+        # local forever: no decision can ever fire.
+        change = grit.observe_fault(42, FaultKind.LOCAL_PAGE_FAULT, False)
+        assert not change.decision_made
+        assert grit.page_table.get(42).scheme is Scheme.ON_TOUCH
+        assert grit.scheme_changes == 0

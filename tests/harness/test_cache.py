@@ -1,0 +1,74 @@
+"""Disk-backed result cache."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.cache import (
+    DiskCachedRunner,
+    config_fingerprint,
+)
+
+
+class TestFingerprint:
+    def test_stable(self):
+        assert config_fingerprint(SystemConfig()) == config_fingerprint(
+            SystemConfig()
+        )
+
+    def test_sensitive_to_any_field(self):
+        base = config_fingerprint(SystemConfig())
+        assert config_fingerprint(SystemConfig(num_gpus=8)) != base
+        assert (
+            config_fingerprint(SystemConfig(issue_gap=5)) != base
+        )
+
+
+class TestDiskCachedRunner:
+    def test_second_process_reads_from_disk(self, tmp_path):
+        first = DiskCachedRunner(tmp_path, scale=0.05)
+        key = first.key("fir", "on_touch")
+        original = first.run(key)
+        assert first.disk_misses == 1
+
+        second = DiskCachedRunner(tmp_path, scale=0.05)
+        cached = second.run(key)
+        assert second.disk_hits == 1
+        assert second.disk_misses == 0
+        assert cached.total_cycles == original.total_cycles
+        assert cached.counters.as_dict() == original.counters.as_dict()
+        assert cached.breakdown.as_dict() == original.breakdown.as_dict()
+        assert cached.details.get("from_cache")
+
+    def test_speedups_identical_through_cache(self, tmp_path):
+        live = DiskCachedRunner(tmp_path, scale=0.05)
+        direct = live.speedup("st", "grit", "on_touch")
+        rehydrated = DiskCachedRunner(tmp_path, scale=0.05)
+        assert rehydrated.speedup("st", "grit", "on_touch") == direct
+
+    def test_config_change_invalidates(self, tmp_path):
+        first = DiskCachedRunner(tmp_path, scale=0.05)
+        first.run(first.key("fir", "on_touch"))
+        other = DiskCachedRunner(
+            tmp_path, base_config=SystemConfig(issue_gap=8), scale=0.05
+        )
+        other.run(other.key("fir", "on_touch"))
+        assert other.disk_hits == 0
+        assert other.disk_misses == 1
+
+    def test_distinct_keys_distinct_files(self, tmp_path):
+        runner = DiskCachedRunner(tmp_path, scale=0.05)
+        runner.run(runner.key("fir", "on_touch"))
+        runner.run(runner.key("fir", "grit"))
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 2
+
+    def test_scheme_usage_round_trips(self, tmp_path):
+        first = DiskCachedRunner(tmp_path, scale=0.05)
+        key = first.key("st", "grit")
+        original = first.run(key)
+        second = DiskCachedRunner(tmp_path, scale=0.05)
+        cached = second.run(key)
+        assert (
+            cached.counters.scheme_usage_fractions()
+            == original.counters.scheme_usage_fractions()
+        )

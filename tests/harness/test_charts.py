@@ -1,0 +1,86 @@
+"""SVG chart rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.harness.charts import render_svg, save_svg
+from repro.harness.figures import FigureData
+
+
+def numeric_figure() -> FigureData:
+    return FigureData(
+        name="figX",
+        title="Speedups",
+        columns=["on_touch", "grit"],
+        rows={"bfs": [1.0, 2.4], "st": [1.0, 1.3]},
+    )
+
+
+class TestRenderSvg:
+    def test_produces_wellformed_xml(self):
+        svg = render_svg(numeric_figure())
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_bar_per_cell(self):
+        svg = render_svg(numeric_figure())
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        bars = [
+            rect
+            for rect in root.iter(f"{ns}rect")
+            if rect.find(f"{ns}title") is not None
+        ]
+        assert len(bars) == 4  # 2 rows x 2 columns
+
+    def test_bar_heights_scale_with_values(self):
+        svg = render_svg(numeric_figure())
+        root = ET.fromstring(svg)
+        ns = "{http://www.w3.org/2000/svg}"
+        heights = {}
+        for rect in root.iter(f"{ns}rect"):
+            title = rect.find(f"{ns}title")
+            if title is not None:
+                heights[title.text] = float(rect.get("height"))
+        assert heights["bfs / grit: 2.400"] > heights["st / grit: 1.300"]
+
+    def test_non_numeric_rows_skipped(self):
+        figure = FigureData(
+            name="figY",
+            title="Mixed",
+            columns=["a"],
+            rows={"good": [2.0], "bad": ["n/a"]},
+        )
+        svg = render_svg(figure)
+        assert "good" in svg
+        assert "bad" not in svg
+
+    def test_all_non_numeric_raises(self):
+        figure = FigureData(
+            name="figZ", title="t", columns=["a"], rows={"r": ["x"]}
+        )
+        with pytest.raises(ValueError):
+            render_svg(figure)
+
+    def test_titles_escaped(self):
+        figure = FigureData(
+            name="figE",
+            title="a < b & c",
+            columns=["x"],
+            rows={"r": [1.0]},
+        )
+        svg = render_svg(figure)
+        ET.fromstring(svg)  # would fail on raw < or &
+
+    def test_save_svg(self, tmp_path):
+        path = tmp_path / "chart.svg"
+        save_svg(numeric_figure(), str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_real_figure_renders(self):
+        from repro.harness.experiment import ExperimentRunner
+        from repro.harness.figures import run_figure
+
+        figure = run_figure("fig31", ExperimentRunner(scale=0.05))
+        ET.fromstring(render_svg(figure))

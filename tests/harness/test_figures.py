@@ -1,0 +1,127 @@
+"""Figure regenerators: every figure builds and has the right schema."""
+
+import pytest
+
+from repro.harness.experiment import PAPER_APPS, ExperimentRunner
+from repro.harness.figures import FIGURES, run_figure
+
+SCALE = 0.1
+
+#: Figures cheap enough to regenerate in the unit suite (the rest are
+#: exercised by the benchmark harness).
+FAST_FIGURES = [
+    "fig01",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig09",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig26",
+    "fig27",
+    "fig28",
+    "fig29",
+    "fig31",
+]
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=SCALE)
+
+
+class TestRegistry:
+    def test_every_evaluation_figure_present(self):
+        expected = {
+            "fig01", "fig03", "fig04", "fig05", "fig06_07", "fig08",
+            "fig09", "fig10", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "fig22_24", "fig25", "fig26", "fig27", "fig28",
+            "fig29", "fig30", "fig31",
+        }
+        assert expected <= set(FIGURES)
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+
+@pytest.mark.parametrize("name", FAST_FIGURES)
+def test_figure_builds_with_consistent_schema(name, runner):
+    figure = run_figure(name, runner)
+    assert figure.name == name
+    assert figure.columns
+    assert figure.rows
+    for label, values in figure.rows.items():
+        assert len(values) == len(figure.columns), label
+    assert figure.paper  # every figure records the paper's claim
+
+
+class TestSpecificFigures:
+    def test_fig01_rows_cover_apps_plus_geomean(self, runner):
+        figure = run_figure("fig01", runner)
+        assert set(figure.rows) == set(PAPER_APPS) | {"geomean"}
+        assert figure.cell("fir", "on_touch") == 1.0
+
+    def test_fig03_fractions_are_normalized_shares(self, runner):
+        figure = run_figure("fig03", runner)
+        for values in figure.rows.values():
+            assert all(v >= 0 for v in values)
+        # On-touch rows sum to 1 by construction.
+        ot_row = figure.rows["fir/on_touch"]
+        assert sum(ot_row) == pytest.approx(1.0)
+
+    def test_fig04_fractions_in_unit_range(self, runner):
+        figure = run_figure("fig04", runner)
+        for values in figure.rows.values():
+            for value in values:
+                assert 0.0 <= value <= 1.0
+
+    def test_fig17_includes_grit_column(self, runner):
+        figure = run_figure("fig17", runner)
+        assert "grit" in figure.columns
+        assert figure.cell("geomean", "grit") > 1.0
+
+    def test_fig18_normalized_to_on_touch(self, runner):
+        figure = run_figure("fig18", runner)
+        for app in PAPER_APPS:
+            assert figure.cell(app, "on_touch") == pytest.approx(1.0)
+
+    def test_fig19_fractions_sum_to_one(self, runner):
+        figure = run_figure("fig19", runner)
+        for app in PAPER_APPS:
+            assert sum(figure.rows[app]) == pytest.approx(1.0)
+
+    def test_fig27_reports_eviction_pressure(self, runner):
+        figure = run_figure("fig27", runner)
+        assert "gps_evictions" in figure.columns
+        assert figure.rows["gps_eviction_ratio"][0] > 0
+
+    def test_fig31_covers_both_models(self, runner):
+        figure = run_figure("fig31", runner)
+        assert set(figure.rows) == {"vgg16", "resnet18"}
+
+
+SLOW_FIGURES = [
+    "fig20",
+    "fig21",
+    "fig22_24",
+    "fig25",
+    "fig30",
+    "ablation_pa_cache",
+    "ablation_group_ladder",
+    "extension_grit_transfw",
+    "extension_oversubscription",
+    "extension_eviction_policy",
+    "sensitivity_counter_threshold",
+]
+
+
+@pytest.mark.parametrize("name", SLOW_FIGURES)
+def test_slow_figure_schema_at_tiny_scale(name):
+    """Sweep-heavy figures build correctly (values checked by benches)."""
+    tiny = ExperimentRunner(scale=0.05)
+    figure = run_figure(name, tiny)
+    assert figure.columns and figure.rows
+    for label, values in figure.rows.items():
+        assert len(values) == len(figure.columns), label

@@ -1,0 +1,73 @@
+"""Process-parallel sweeps agree with sequential execution."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.parallel import (
+    headline_keys,
+    run_keys_parallel,
+    warm_runner_parallel,
+)
+
+SCALE = 0.05
+
+
+def sample_keys(runner):
+    return [
+        runner.key("fir", "on_touch"),
+        runner.key("fir", "grit"),
+        runner.key("st", "on_touch"),
+    ]
+
+
+class TestRunKeysParallel:
+    def test_inline_fallback(self):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)
+        results = run_keys_parallel(keys, workers=1)
+        assert set(results) == set(keys)
+        for key, result in results.items():
+            assert result.workload == key.workload
+            assert result.policy == key.policy
+
+    def test_parallel_matches_sequential(self):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)
+        sequential = run_keys_parallel(keys, workers=1)
+        parallel = run_keys_parallel(keys, workers=2)
+        for key in keys:
+            assert (
+                parallel[key].total_cycles == sequential[key].total_cycles
+            )
+            assert (
+                parallel[key].counters.as_dict()
+                == sequential[key].counters.as_dict()
+            )
+
+    def test_duplicate_keys_deduplicated(self):
+        runner = ExperimentRunner(scale=SCALE)
+        key = runner.key("fir", "on_touch")
+        results = run_keys_parallel([key, key, key], workers=1)
+        assert len(results) == 1
+
+
+class TestWarmRunner:
+    def test_warmed_cache_serves_without_resimulation(self):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)
+        warm_runner_parallel(runner, keys, workers=1)
+        cached = runner._cache[keys[0]]
+        assert runner.run(keys[0]) is cached
+
+    def test_headline_keys_cover_figure_17(self):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = headline_keys(runner)
+        assert len(keys) == 8 * 5
+        policies = {key.policy for key in keys}
+        assert policies == {
+            "on_touch",
+            "access_counter",
+            "duplication",
+            "grit",
+            "ideal",
+        }

@@ -1,0 +1,40 @@
+"""Text rendering of figures."""
+
+from repro.harness.figures import FigureData
+from repro.harness.report import format_figure, format_table
+
+
+def sample_figure() -> FigureData:
+    return FigureData(
+        name="figX",
+        title="Sample",
+        columns=["a", "b"],
+        rows={"row1": [1.0, 2.5], "row2": ["x", 3]},
+        paper="paper says so",
+        notes="a note",
+    )
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["a", "b"], {"row1": [1.0, 2.5]})
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, rule, one row
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "1.000" in lines[2]
+
+    def test_mixed_cell_types(self):
+        text = format_table(["v"], {"r": ["hello"]})
+        assert "hello" in text
+
+
+class TestFormatFigure:
+    def test_includes_title_notes_and_paper(self):
+        text = format_figure(sample_figure())
+        assert "figX: Sample" in text
+        assert "note: a note" in text
+        assert "paper: paper says so" in text
+
+    def test_cell_accessor(self):
+        figure = sample_figure()
+        assert figure.cell("row1", "b") == 2.5

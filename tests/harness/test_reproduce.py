@@ -1,0 +1,55 @@
+"""Markdown report generation."""
+
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.reproduce import generate_report, write_report
+
+
+class TestGenerateReport:
+    def test_selected_figures_only(self):
+        text = generate_report(
+            scale=0.05, figures=["fig04", "fig09"]
+        )
+        assert "## fig04" in text
+        assert "## fig09" in text
+        assert "## fig17" not in text
+        assert "GRIT reproduction report" in text
+
+    def test_reuses_provided_runner_cache(self):
+        runner = ExperimentRunner(scale=0.05)
+        generate_report(figures=["fig04"], runner=runner)
+        # Characterization figures don't simulate; force one that does.
+        runner.run(runner.key("fir", "on_touch"))
+        cached = len(runner._cache)
+        generate_report(figures=["fig04"], runner=runner)
+        assert len(runner._cache) == cached
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "REPORT.md"
+        text = write_report(path, scale=0.05, figures=["fig04"])
+        assert path.read_text() == text
+
+
+class TestReportCharts:
+    def test_charts_written_and_embedded(self, tmp_path):
+        report_path = tmp_path / "REPORT.md"
+        charts = tmp_path / "charts"
+        text = write_report(
+            report_path,
+            scale=0.05,
+            figures=["fig09"],
+            charts_dir=charts,
+        )
+        assert (charts / "fig09.svg").exists()
+        assert "![fig09]" in text
+
+    def test_non_numeric_figures_skip_charts(self, tmp_path):
+        # fig10's rows mix ints and strings; the report must still build.
+        report_path = tmp_path / "REPORT.md"
+        charts = tmp_path / "charts"
+        text = write_report(
+            report_path,
+            scale=0.05,
+            figures=["fig10"],
+            charts_dir=charts,
+        )
+        assert "fig10" in text

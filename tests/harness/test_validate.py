@@ -1,0 +1,70 @@
+"""Result consistency validation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.validate import assert_valid, validate_result
+from repro.policies import make_policy
+from repro.sim import simulate
+from repro.workloads import make_workload
+from tests.conftest import build_trace
+
+
+class TestValidateCleanResults:
+    @pytest.mark.parametrize(
+        "policy",
+        ["on_touch", "access_counter", "duplication", "grit", "gps", "ideal"],
+    )
+    def test_real_runs_validate(self, policy):
+        trace = make_workload("st", scale=0.05)
+        result = simulate(SystemConfig(), trace, make_policy(policy))
+        assert validate_result(result) == []
+
+    def test_assert_valid_passes_clean(self):
+        trace = build_trace([[(0, False)]], footprint_pages=4)
+        result = simulate(
+            SystemConfig(num_gpus=1), trace, make_policy("on_touch")
+        )
+        assert_valid(result)
+
+
+class TestValidateCatchesCorruption:
+    def make_result(self):
+        trace = build_trace([[(0, False), (1, True)]], footprint_pages=4)
+        return simulate(
+            SystemConfig(num_gpus=1), trace, make_policy("on_touch")
+        )
+
+    def test_detects_access_miscount(self):
+        result = self.make_result()
+        result.counters.accesses += 1
+        assert "accesses != reads + writes" in validate_result(result)
+
+    def test_detects_clock_mismatch(self):
+        result = self.make_result()
+        result.total_cycles += 1
+        assert any(
+            "max per-GPU clock" in issue for issue in validate_result(result)
+        )
+
+    def test_detects_usage_mismatch(self):
+        from repro.constants import Scheme
+
+        result = self.make_result()
+        result.counters.scheme_usage[Scheme.DUPLICATION] += 1
+        assert any(
+            "scheme usage" in issue for issue in validate_result(result)
+        )
+
+    def test_detects_eviction_disagreement(self):
+        result = self.make_result()
+        result.counters.evictions += 5
+        assert any(
+            "eviction counter" in issue for issue in validate_result(result)
+        )
+
+    def test_assert_valid_raises_with_details(self):
+        result = self.make_result()
+        result.counters.accesses += 1
+        with pytest.raises(AssertionError, match="reads"):
+            assert_valid(result)

@@ -1,0 +1,100 @@
+"""End-to-end comparator behaviour through the engine.
+
+Exercises the Griffin interval hook, GPS write-broadcast semantics, the
+prefetcher, and Trans-FW stacking over full (small) workload runs rather
+than hand-driven driver calls.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.policies import make_policy
+from repro.policies.griffin import GriffinPolicy
+from repro.prefetch import TreePrefetcher
+from repro.sim import Engine, simulate
+from repro.workloads import make_workload
+
+SCALE = 0.1
+
+
+def run(workload, policy, prefetcher=None, num_gpus=4):
+    config = SystemConfig(num_gpus=num_gpus)
+    trace = make_workload(workload, num_gpus=num_gpus, scale=SCALE)
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    return Engine(config, trace, policy, prefetcher=prefetcher).run()
+
+
+class TestGriffinThroughEngine:
+    def test_dpc_intervals_fire_during_run(self):
+        policy = GriffinPolicy(interval_cycles=50_000, min_accesses=2)
+        result = run("st", policy)
+        assert policy.dpc_migrations > 0
+        assert result.counters.migrations >= policy.dpc_migrations
+
+    def test_acud_variant_is_faster_on_migration_heavy_app(self):
+        plain = run("st", "griffin_dpc")
+        acud = run("st", "griffin")
+        assert acud.total_cycles <= plain.total_cycles
+
+
+class TestGpsThroughEngine:
+    def test_gps_never_collapses(self):
+        result = run("st", "gps")
+        assert result.counters.write_collapses == 0
+        assert result.counters.protection_faults == 0
+
+    def test_gps_replicates_more_than_grit(self):
+        gps = run("st", "gps")
+        grit = run("st", "grit")
+        assert gps.counters.duplications >= grit.counters.duplications
+
+
+class TestPrefetcherThroughEngine:
+    def test_prefetch_reduces_cold_faults_on_streaming_app(self):
+        plain = run("fir", "on_touch")
+        prefetcher = TreePrefetcher()
+        fetched = run("fir", "on_touch", prefetcher=prefetcher)
+        assert prefetcher.prefetched_pages > 0
+        assert fetched.counters.local_page_faults < (
+            plain.counters.local_page_faults
+        )
+
+    def test_prefetch_counts_surface_in_result(self):
+        prefetcher = TreePrefetcher()
+        result = run("fir", "grit", prefetcher=prefetcher)
+        assert result.counters.prefetches == prefetcher.prefetched_pages
+
+
+class TestTransFwThroughEngine:
+    def test_transfw_stack_speeds_up_grit(self):
+        plain = run("st", "grit")
+        stacked = run("st", "grit_transfw")
+        assert stacked.total_cycles < plain.total_cycles
+
+    def test_transfw_does_not_change_fault_counts(self):
+        plain = run("fir", "griffin_dpc")
+        stacked = run("fir", "griffin_dpc_transfw")
+        # Trans-FW accelerates fault service; it doesn't avoid faults.
+        assert (
+            abs(
+                stacked.counters.total_faults - plain.counters.total_faults
+            )
+            <= plain.counters.total_faults * 0.1
+        )
+
+
+class TestScalingThroughEngine:
+    @pytest.mark.parametrize("num_gpus", [1, 2, 8])
+    def test_all_policies_run_at_any_gpu_count(self, num_gpus):
+        for policy in ("on_touch", "grit", "gps", "griffin_dpc"):
+            result = run("gemm", policy, num_gpus=num_gpus)
+            assert result.num_gpus == num_gpus
+            assert result.total_cycles > 0
+
+    def test_single_gpu_has_no_sharing_costs(self):
+        result = run("st", "grit", num_gpus=1)
+        # No peers: no replicas and no GPU-to-GPU traffic.  (Host-remote
+        # accesses and copy-on-write upgrade faults can still occur.)
+        assert result.counters.duplications == 0
+        assert result.details["nvlink_bytes"] == 0

@@ -1,0 +1,180 @@
+"""Paper-shape regression tests: the evaluation's qualitative claims.
+
+These run the real workloads at a reduced scale and assert the *shape*
+of the paper's results — who wins per application and the direction of
+the headline averages.  They are the contract the benchmarks report
+against; see EXPERIMENTS.md for measured-vs-paper numbers.
+"""
+
+import pytest
+
+from repro.harness.experiment import PAPER_APPS, ExperimentRunner, geometric_mean
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=SCALE)
+
+
+def geo(runner, policy, baseline="on_touch", **overrides):
+    return geometric_mean(
+        runner.speedups(policy, baseline, **overrides).values()
+    )
+
+
+class TestFigure1Shape:
+    """No one-size-fits-all scheme (Figure 1)."""
+
+    def test_on_touch_wins_private_heavy_apps(self, runner):
+        for app in ("fir", "sc"):
+            assert runner.speedup(app, "access_counter", "on_touch") < 0.95
+            assert runner.speedup(app, "duplication", "on_touch") <= 1.05
+
+    def test_duplication_wins_read_shared_apps(self, runner):
+        for app in ("bfs", "gemm"):
+            dup = runner.speedup(app, "duplication", "on_touch")
+            ac = runner.speedup(app, "access_counter", "on_touch")
+            assert dup > 1.2
+            assert dup > ac
+
+    def test_access_counter_wins_bitonic_sort(self, runner):
+        bs_ac = runner.speedup("bs", "access_counter", "on_touch")
+        bs_dup = runner.speedup("bs", "duplication", "on_touch")
+        assert bs_ac > 1.5
+        assert bs_ac > bs_dup
+
+    def test_every_scheme_loses_somewhere(self, runner):
+        for policy in ("on_touch", "access_counter", "duplication"):
+            wins = 0
+            for app in PAPER_APPS:
+                others = [
+                    runner.speedup(app, other, "on_touch")
+                    for other in ("on_touch", "access_counter", "duplication")
+                    if other != policy
+                ]
+                if runner.speedup(app, policy, "on_touch") >= max(others):
+                    wins += 1
+            assert wins < len(PAPER_APPS)
+
+    def test_ideal_dominates_everything(self, runner):
+        for app in PAPER_APPS:
+            ideal = runner.speedup(app, "ideal", "on_touch")
+            for policy in ("access_counter", "duplication", "grit"):
+                assert ideal >= runner.speedup(app, policy, "on_touch")
+
+
+class TestFigure17Shape:
+    """GRIT's headline result."""
+
+    def test_grit_beats_every_uniform_scheme_on_average(self, runner):
+        grit = geo(runner, "grit")
+        assert grit > geo(runner, "access_counter")
+        assert grit > geo(runner, "duplication")
+        assert grit > 1.3  # paper: +60% over on-touch
+
+    def test_grit_tracks_best_uniform_scheme_per_app(self, runner):
+        for app in PAPER_APPS:
+            best = max(
+                runner.speedup(app, policy, "on_touch")
+                for policy in ("on_touch", "access_counter", "duplication")
+            )
+            grit = runner.speedup(app, "grit", "on_touch")
+            # Within 15% of the per-app best uniform scheme (paper: -2%
+            # worst case on BFS).
+            assert grit > best * 0.85, f"{app}: grit {grit} vs best {best}"
+
+    def test_grit_wins_outright_on_stencil(self, runner):
+        best_uniform = max(
+            runner.speedup("st", policy, "on_touch")
+            for policy in ("on_touch", "access_counter", "duplication")
+        )
+        assert runner.speedup("st", "grit", "on_touch") > best_uniform
+
+
+class TestFigure18Shape:
+    def test_grit_reduces_faults_vs_on_touch_and_duplication(self, runner):
+        ratios_ot = []
+        ratios_dup = []
+        for app in PAPER_APPS:
+            grit = runner.run(runner.key(app, "grit")).counters.total_faults
+            ot = runner.run(runner.key(app, "on_touch")).counters.total_faults
+            dup = runner.run(
+                runner.key(app, "duplication")
+            ).counters.total_faults
+            ratios_ot.append(grit / max(1, ot))
+            ratios_dup.append(grit / max(1, dup))
+        assert geometric_mean(ratios_ot) < 0.85  # paper: -39%
+        assert geometric_mean(ratios_dup) < 0.95  # paper: -16%
+
+
+class TestFigure19Shape:
+    def test_scheme_mix_matches_app_character(self, runner):
+        usage = {
+            app: runner.run(
+                runner.key(app, "grit")
+            ).counters.scheme_usage_fractions()
+            for app in PAPER_APPS
+        }
+        # Read-shared apps converge on duplication.
+        assert usage["bfs"]["D"] > 0.3
+        assert usage["gemm"]["D"] > 0.3
+        # Private-heavy apps keep mostly the on-touch start.
+        assert usage["fir"]["OT"] > 0.5
+        assert usage["sc"]["OT"] > 0.5
+        # BS relies on access-counter more than any other app does.
+        assert usage["bs"]["AC"] == max(u["AC"] for u in usage.values())
+
+
+class TestComparatorShape:
+    def test_grit_beats_griffin_dpc(self, runner):
+        assert geo(runner, "grit", "griffin_dpc") > 1.0  # paper +27%
+
+    def test_acud_is_orthogonal_to_grit(self, runner):
+        assert geo(runner, "grit_acud", "grit") > 1.0  # paper +9%
+
+    def test_grit_beats_gps_on_average(self, runner):
+        assert geo(runner, "grit", "gps") > 1.0  # paper +15%
+
+    def test_gps_suffers_oversubscription(self, runner):
+        ratios = []
+        for app in PAPER_APPS:
+            gps = runner.run(runner.key(app, "gps")).counters.evictions
+            grit = runner.run(runner.key(app, "grit")).counters.evictions
+            ratios.append(gps / max(1, grit))
+        assert geometric_mean(ratios) > 1.0  # paper: +34% eviction rate
+
+    def test_grit_crushes_first_touch_on_write_shared_apps(self, runner):
+        assert runner.speedup("bs", "grit", "first_touch") > 1.5
+        assert runner.speedup("st", "grit", "first_touch") > 1.0
+
+    def test_first_touch_fine_on_private_apps(self, runner):
+        # Paper: GRIT's gains over first-touch are marginal on FIR/SC.
+        for app in ("fir", "sc"):
+            assert 0.85 < runner.speedup(app, "grit", "first_touch") < 1.2
+
+
+class TestSensitivityShape:
+    def test_threshold_4_is_at_least_as_good_as_16(self, runner):
+        t4 = geo(runner, "grit", fault_threshold=4)
+        t16 = geo(runner, "grit", fault_threshold=16)
+        assert t4 > t16  # paper: +60% vs +48%
+
+    def test_ablation_ordering(self, runner):
+        full = geo(runner, "grit")
+        pa_only = geo(
+            runner,
+            "grit",
+            use_pa_cache=False,
+            use_neighbor_prediction=False,
+        )
+        assert full > pa_only  # paper: +60% vs +31%
+
+    def test_grit_helps_across_gpu_counts(self, runner):
+        for gpus in (2, 8):
+            assert geo(runner, "grit", num_gpus=gpus) > 1.2
+
+    def test_dnn_workloads_benefit(self, runner):
+        for model in ("vgg16", "resnet18"):
+            assert runner.speedup(model, "grit", "on_touch") > 1.05

@@ -1,0 +1,140 @@
+"""End-to-end scheme behaviour on hand-crafted micro-traces.
+
+Each test builds a tiny trace whose best placement scheme is known by
+construction and checks the simulator agrees — the micro-scale version
+of the paper's Section IV arguments.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.policies import make_policy
+from repro.sim import simulate
+from tests.conftest import build_trace
+
+
+def run(trace, policy_name, num_gpus=2):
+    config = SystemConfig(num_gpus=num_gpus)
+    return simulate(config, trace, make_policy(policy_name))
+
+
+def ping_pong_trace(accesses_per_side=2, rounds=12):
+    """One page alternately written by two GPUs (worst case for OT)."""
+    per_gpu = []
+    for _ in range(rounds):
+        per_gpu.append([(0, True)] * accesses_per_side)
+    stream = [access for burst in per_gpu for access in burst]
+    return build_trace([stream, stream], footprint_pages=8)
+
+
+def read_shared_trace(readers=2, reads=40):
+    """One page read over and over by every GPU (duplication heaven)."""
+    stream = [(0, False)] * reads
+    return build_trace([list(stream) for _ in range(readers)], footprint_pages=8)
+
+
+def private_trace(pages=4, accesses=30):
+    """Disjoint per-GPU pages (on-touch heaven)."""
+    return build_trace(
+        [
+            [(vpn, vpn % 2 == 0) for vpn in range(pages) for _ in range(accesses)],
+            [
+                (vpn, vpn % 2 == 0)
+                for vpn in range(pages, 2 * pages)
+                for _ in range(accesses)
+            ],
+        ],
+        footprint_pages=4 * pages,
+    )
+
+
+class TestMicroShapes:
+    def test_read_shared_page_prefers_duplication_over_on_touch(self):
+        trace = read_shared_trace()
+        dup = run(trace, "duplication")
+        ot = run(trace, "on_touch")
+        assert dup.total_cycles < ot.total_cycles
+
+    def test_rw_ping_pong_prefers_access_counter_over_on_touch(self):
+        trace = ping_pong_trace()
+        ac = run(trace, "access_counter")
+        ot = run(trace, "on_touch")
+        assert ac.total_cycles < ot.total_cycles
+        assert ac.counters.migrations < ot.counters.migrations
+
+    def test_rw_ping_pong_punishes_duplication(self):
+        trace = ping_pong_trace()
+        dup = run(trace, "duplication")
+        ac = run(trace, "access_counter")
+        assert dup.counters.write_collapses > 0
+        assert ac.total_cycles < dup.total_cycles
+
+    def test_private_pages_prefer_on_touch_over_access_counter(self):
+        trace = private_trace()
+        ot = run(trace, "on_touch")
+        ac = run(trace, "access_counter")
+        assert ot.total_cycles < ac.total_cycles
+
+    def test_ideal_is_a_lower_bound(self):
+        for trace in (ping_pong_trace(), read_shared_trace(), private_trace()):
+            ideal = run(trace, "ideal")
+            for policy in ("on_touch", "access_counter", "duplication", "grit"):
+                assert ideal.total_cycles <= run(trace, policy).total_cycles
+
+
+class TestGritAdaptation:
+    def test_grit_learns_duplication_for_read_shared_page(self):
+        trace = read_shared_trace(reads=60)
+        grit = run(trace, "grit")
+        fractions = grit.counters.scheme_usage_fractions()
+        assert grit.counters.scheme_changes >= 1
+        assert fractions["D"] > 0
+
+    def test_grit_learns_access_counter_for_ping_pong(self):
+        trace = ping_pong_trace(rounds=20)
+        grit = run(trace, "grit")
+        from repro.constants import Scheme
+
+        # By the end the page's scheme bits should be AC.
+        # (Re-simulate through engine internals to inspect the PT.)
+        from repro.sim.engine import Engine
+
+        engine = Engine(
+            SystemConfig(num_gpus=2), ping_pong_trace(rounds=20), make_policy("grit")
+        )
+        engine.run()
+        assert engine.machine.central_pt.get(0).scheme is Scheme.ACCESS_COUNTER
+
+    def test_grit_matches_or_beats_on_touch_on_mixed_trace(self):
+        # Half private pages, half ping-pong shared pages.
+        shared = [(0, True), (1, True)] * 20
+        private_a = [(vpn, False) for vpn in range(4, 8) for _ in range(10)]
+        private_b = [(vpn, False) for vpn in range(8, 12) for _ in range(10)]
+        trace = build_trace(
+            [shared + private_a, shared + private_b], footprint_pages=16
+        )
+        grit = run(trace, "grit")
+        ot = run(trace, "on_touch")
+        assert grit.total_cycles <= ot.total_cycles
+
+    def test_grit_fault_count_drops_vs_on_touch_on_ping_pong(self):
+        trace = ping_pong_trace(rounds=20)
+        grit = run(trace, "grit")
+        ot = run(trace, "on_touch")
+        assert grit.counters.total_faults < ot.counters.total_faults
+
+
+class TestOversubscription:
+    def test_duplication_evicts_under_capacity_pressure(self):
+        # 2 GPUs, 20-page footprint -> 7 frames each; both GPUs read all
+        # pages -> 40 replica installs must evict.
+        accesses = [(vpn, False) for vpn in range(20)] * 2
+        trace = build_trace([accesses, accesses], footprint_pages=20)
+        dup = run(trace, "duplication")
+        assert dup.counters.evictions > 0
+
+    def test_access_counter_avoids_capacity_pressure(self):
+        accesses = [(vpn, False) for vpn in range(20)] * 2
+        trace = build_trace([accesses, accesses], footprint_pages=20)
+        ac = run(trace, "access_counter")
+        assert ac.counters.evictions == 0  # pages stay in host memory

@@ -1,0 +1,39 @@
+"""Accounting consistency across the full workload x policy matrix.
+
+This net caught a real bug during development: owner evictions used to
+shoot down replica holders' valid self-mappings, leaving GPS pages with
+read-only translations that then write-collapsed — something GPS must
+never do.  Keep it broad.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.harness.validate import validate_result
+from repro.policies import available_policies, make_policy
+from repro.sim import simulate
+from repro.workloads import make_workload
+
+#: One write-heavy shared app (the GPS regression trigger), one
+#: private-heavy app, and one mixed app — full Table II coverage runs in
+#: the standalone validation sweep.
+WORKLOADS = ("bs", "fir", "gemm")
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("policy", sorted(available_policies()))
+def test_every_policy_produces_consistent_accounting(workload, policy):
+    trace = make_workload(workload, scale=0.1)
+    result = simulate(SystemConfig(), trace, make_policy(policy))
+    assert validate_result(result) == []
+
+
+def test_gps_survives_heavy_eviction_churn_without_collapses():
+    """The regression scenario: BS's all-shared writes under GPS with
+    70% capacity force constant owner evictions and re-subscriptions;
+    promoted subscribers must keep their writable mappings."""
+    trace = make_workload("bs", scale=0.15)
+    result = simulate(SystemConfig(), trace, make_policy("gps"))
+    assert result.counters.evictions > 100  # churn actually happened
+    assert result.counters.write_collapses == 0
+    assert result.counters.protection_faults == 0

@@ -1,0 +1,45 @@
+"""Link latency/bandwidth model and traffic accounting."""
+
+import pytest
+
+from repro.interconnect.link import Link
+
+
+class TestLink:
+    def test_transfer_cost_latency_plus_serialization(self):
+        link = Link("test", latency=100, bytes_per_cycle=10.0)
+        assert link.transfer_cycles(100) == 110
+
+    def test_serialization_rounds_up(self):
+        link = Link("test", latency=0, bytes_per_cycle=3.0)
+        assert link.transfer_cycles(10) == 4
+
+    def test_control_message_costs_latency_only(self):
+        link = Link("test", latency=100, bytes_per_cycle=10.0)
+        assert link.message_cycles() == 100
+
+    def test_traffic_accounting(self):
+        link = Link("test", latency=1, bytes_per_cycle=1.0)
+        link.transfer_cycles(50)
+        link.transfer_cycles(30)
+        link.message_cycles()
+        assert link.bytes_transferred == 80
+        assert link.messages == 3
+
+    def test_reset_stats(self):
+        link = Link("test", latency=1, bytes_per_cycle=1.0)
+        link.transfer_cycles(10)
+        link.reset_stats()
+        assert link.bytes_transferred == 0
+        assert link.messages == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Link("bad", latency=-1, bytes_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            Link("bad", latency=0, bytes_per_cycle=0.0)
+
+    def test_rejects_negative_transfer(self):
+        link = Link("test", latency=0, bytes_per_cycle=1.0)
+        with pytest.raises(ValueError):
+            link.transfer_cycles(-1)

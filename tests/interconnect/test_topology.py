@@ -1,0 +1,53 @@
+"""Topology: all-to-all NVLink plus per-GPU PCIe host links."""
+
+import pytest
+
+from repro.config import LatencyModel
+from repro.constants import HOST_NODE
+from repro.errors import ConfigError
+from repro.interconnect.topology import Topology
+
+
+@pytest.fixture
+def topology(latency: LatencyModel) -> Topology:
+    return Topology(4, latency)
+
+
+class TestTopology:
+    def test_gpu_pairs_share_one_link(self, topology):
+        assert topology.link_between(0, 1) is topology.link_between(1, 0)
+
+    def test_distinct_pairs_have_distinct_links(self, topology):
+        assert topology.link_between(0, 1) is not topology.link_between(0, 2)
+
+    def test_host_routes_over_pcie(self, topology):
+        link = topology.link_between(2, HOST_NODE)
+        assert link.name == "pcie-2"
+        assert topology.link_between(HOST_NODE, 2) is link
+
+    def test_pcie_slower_than_nvlink(self, topology):
+        nvlink = topology.transfer(0, 1, 4096)
+        pcie = topology.transfer(0, HOST_NODE, 4096)
+        assert pcie > nvlink
+
+    def test_self_link_rejected(self, topology):
+        with pytest.raises(ConfigError):
+            topology.link_between(1, 1)
+
+    def test_unknown_gpu_rejected(self, topology):
+        with pytest.raises((ConfigError, IndexError, KeyError)):
+            topology.link_between(0, 9)
+
+    def test_traffic_totals(self, topology):
+        topology.transfer(0, 1, 1000)
+        topology.transfer(2, HOST_NODE, 500)
+        assert topology.total_nvlink_bytes() == 1000
+        assert topology.total_pcie_bytes() == 500
+
+    def test_single_gpu_topology_has_host_link(self, latency):
+        topo = Topology(1, latency)
+        assert topo.transfer(0, HOST_NODE, 100) > 0
+
+    def test_rejects_zero_gpus(self, latency):
+        with pytest.raises(ConfigError):
+            Topology(0, latency)

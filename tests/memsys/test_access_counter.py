@@ -1,0 +1,54 @@
+"""Access counters: 64 KB grouping, thresholds, resets."""
+
+import pytest
+
+from repro.memsys.access_counter import AccessCounterFile
+
+
+class TestAccessCounterFile:
+    def test_threshold_fires_and_resets(self):
+        counters = AccessCounterFile(threshold=3, pages_per_group=16)
+        assert not counters.record_remote_access(0, 5)
+        assert not counters.record_remote_access(0, 5)
+        assert counters.record_remote_access(0, 5)
+        # Counter cleared after firing.
+        assert counters.count(0, 5) == 0
+        assert counters.migrations_triggered == 1
+
+    def test_group_granularity(self):
+        counters = AccessCounterFile(threshold=3, pages_per_group=16)
+        counters.record_remote_access(0, 0)
+        counters.record_remote_access(0, 15)  # same 64 KB group
+        assert counters.record_remote_access(0, 7)
+        assert counters.count(0, 16) == 0  # next group untouched
+
+    def test_per_gpu_counters_are_independent(self):
+        counters = AccessCounterFile(threshold=3, pages_per_group=16)
+        counters.record_remote_access(0, 0)
+        counters.record_remote_access(1, 0)
+        assert counters.count(0, 0) == 1
+        assert counters.count(1, 0) == 1
+
+    def test_reset_group_clears_all_gpus(self):
+        counters = AccessCounterFile(threshold=10, pages_per_group=16)
+        counters.record_remote_access(0, 3)
+        counters.record_remote_access(1, 3)
+        counters.reset_group(3)
+        assert counters.count(0, 3) == 0
+        assert counters.count(1, 3) == 0
+
+    def test_threshold_one_fires_immediately(self):
+        counters = AccessCounterFile(threshold=1, pages_per_group=1)
+        assert counters.record_remote_access(0, 0)
+
+    def test_len_counts_live_groups(self):
+        counters = AccessCounterFile(threshold=5, pages_per_group=16)
+        counters.record_remote_access(0, 0)
+        counters.record_remote_access(0, 100)
+        assert len(counters) == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AccessCounterFile(threshold=0, pages_per_group=16)
+        with pytest.raises(ValueError):
+            AccessCounterFile(threshold=1, pages_per_group=0)

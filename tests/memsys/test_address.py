@@ -1,0 +1,66 @@
+"""Address arithmetic: VPN folding, counter groups, neighbor groups."""
+
+import pytest
+
+from repro.constants import PAGE_SIZE_2M, PAGE_SIZE_4K
+from repro.errors import ConfigError
+from repro.memsys.address import AddressSpace
+
+
+class TestAddressSpace:
+    def test_4k_identity_fold(self):
+        space = AddressSpace(PAGE_SIZE_4K)
+        assert space.base_pages_per_page == 1
+        assert space.fold_base_vpn(123) == 123
+
+    def test_2m_fold(self):
+        space = AddressSpace(PAGE_SIZE_2M)
+        assert space.base_pages_per_page == 512
+        assert space.fold_base_vpn(0) == 0
+        assert space.fold_base_vpn(511) == 0
+        assert space.fold_base_vpn(512) == 1
+
+    def test_address_vpn_round_trip(self):
+        space = AddressSpace(PAGE_SIZE_4K)
+        for vpn in (0, 1, 99, 2**30):
+            assert space.vpn_of_address(space.address_of_vpn(vpn)) == vpn
+
+    def test_vpn_of_mid_page_address(self):
+        space = AddressSpace(PAGE_SIZE_4K)
+        assert space.vpn_of_address(PAGE_SIZE_4K + 17) == 1
+
+    def test_counter_group_64kb(self):
+        space = AddressSpace(PAGE_SIZE_4K)
+        assert space.counter_group(0, 64 * 1024) == 0
+        assert space.counter_group(15, 64 * 1024) == 0
+        assert space.counter_group(16, 64 * 1024) == 1
+
+    def test_counter_group_never_smaller_than_page(self):
+        space = AddressSpace(PAGE_SIZE_2M)
+        assert space.counter_group(5, 64 * 1024) == 5
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(3000)
+
+    def test_rejects_sub_4k_pages(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(2048)
+
+
+class TestGroupBase:
+    def test_matches_paper_formula(self):
+        # VPN_base = VPN - (VPN % GroupSize)
+        assert AddressSpace.group_base(0, 8) == 0
+        assert AddressSpace.group_base(7, 8) == 0
+        assert AddressSpace.group_base(8, 8) == 8
+        assert AddressSpace.group_base(100, 64) == 64
+        assert AddressSpace.group_base(1000, 512) == 512
+
+    def test_members_cover_group(self):
+        members = AddressSpace.group_members(19, 8)
+        assert list(members) == list(range(16, 24))
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ConfigError):
+            AddressSpace.group_base(3, 0)

@@ -1,0 +1,123 @@
+"""DRAM directory: residency, LRU eviction, dirty tracking."""
+
+import pytest
+
+from repro.memsys.dram import DramDirectory
+
+
+class TestDramDirectory:
+    def test_install_until_full_no_eviction(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=3)
+        for vpn in range(3):
+            assert dram.install(vpn) is None
+        assert dram.full
+        assert len(dram) == 3
+
+    def test_lru_eviction_on_overflow(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=2)
+        dram.install(0)
+        dram.install(1)
+        eviction = dram.install(2)
+        assert eviction.evicted_vpn == 0
+        assert 0 not in dram
+        assert 1 in dram and 2 in dram
+
+    def test_touch_refreshes_lru(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=2)
+        dram.install(0)
+        dram.install(1)
+        dram.touch(0)
+        eviction = dram.install(2)
+        assert eviction.evicted_vpn == 1
+
+    def test_dirty_propagates_to_eviction(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=1)
+        dram.install(0)
+        dram.mark_dirty(0)
+        eviction = dram.install(1)
+        assert eviction.was_dirty
+
+    def test_clean_eviction(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=1)
+        dram.install(0)
+        eviction = dram.install(1)
+        assert not eviction.was_dirty
+
+    def test_reinstall_resident_page_keeps_dirty(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=2)
+        dram.install(0, dirty=True)
+        assert dram.install(0, dirty=False) is None
+        eviction = dram.install(1) or dram.install(2)
+        assert eviction.evicted_vpn == 0
+        assert eviction.was_dirty
+
+    def test_release_frees_frame(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=1)
+        dram.install(0)
+        assert dram.release(0)
+        assert not dram.release(0)
+        assert dram.install(1) is None
+
+    def test_eviction_counter(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=1)
+        for vpn in range(5):
+            dram.install(vpn)
+        assert dram.evictions == 4
+        assert dram.installs == 5
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            DramDirectory(gpu_id=0, capacity_frames=0)
+
+    def test_resident_vpns(self):
+        dram = DramDirectory(gpu_id=0, capacity_frames=4)
+        for vpn in (5, 2, 9):
+            dram.install(vpn)
+        assert set(dram.resident_vpns()) == {5, 2, 9}
+
+
+class TestEvictionPolicies:
+    def test_fifo_ignores_touches(self):
+        from repro.constants import EvictionPolicy
+
+        dram = DramDirectory(
+            gpu_id=0, capacity_frames=2, policy=EvictionPolicy.FIFO
+        )
+        dram.install(0)
+        dram.install(1)
+        dram.touch(0)  # FIFO ignores recency
+        eviction = dram.install(2)
+        assert eviction.evicted_vpn == 0
+
+    def test_random_is_deterministic_per_seed(self):
+        from repro.constants import EvictionPolicy
+
+        def victims(seed):
+            dram = DramDirectory(
+                gpu_id=0,
+                capacity_frames=4,
+                policy=EvictionPolicy.RANDOM,
+                seed=seed,
+            )
+            out = []
+            for vpn in range(20):
+                eviction = dram.install(vpn)
+                if eviction:
+                    out.append(eviction.evicted_vpn)
+            return out
+
+        assert victims(1) == victims(1)
+
+    def test_random_evicts_resident_pages_only(self):
+        from repro.constants import EvictionPolicy
+
+        dram = DramDirectory(
+            gpu_id=0, capacity_frames=3, policy=EvictionPolicy.RANDOM
+        )
+        seen = set()
+        for vpn in range(30):
+            eviction = dram.install(vpn)
+            if eviction:
+                assert eviction.evicted_vpn not in seen
+                seen.add(eviction.evicted_vpn)
+            assert len(dram) <= 3

@@ -1,0 +1,39 @@
+"""PageInfo: ownership, replicas, locality."""
+
+from repro.constants import HOST_NODE, GroupBits, Scheme
+from repro.memsys.page import PageInfo
+
+
+class TestPageInfo:
+    def test_starts_at_host_unplaced(self):
+        page = PageInfo(vpn=7)
+        assert page.owner == HOST_NODE
+        assert not page.placed
+        assert page.holders() == set()
+
+    def test_defaults(self):
+        page = PageInfo(vpn=0)
+        assert page.scheme is Scheme.ON_TOUCH
+        assert page.group is GroupBits.SINGLE
+        assert not page.ever_written
+        assert not page.dirty
+
+    def test_holders_includes_owner_and_replicas(self):
+        page = PageInfo(vpn=0, owner=1, replicas={2, 3})
+        assert page.holders() == {1, 2, 3}
+
+    def test_is_local_to_owner_and_replicas(self):
+        page = PageInfo(vpn=0, owner=1, replicas={2})
+        assert page.is_local_to(1)
+        assert page.is_local_to(2)
+        assert not page.is_local_to(0)
+
+    def test_host_pages_local_to_nobody(self):
+        page = PageInfo(vpn=0)
+        assert not page.is_local_to(0)
+
+    def test_replica_sets_are_independent(self):
+        a = PageInfo(vpn=0)
+        b = PageInfo(vpn=1)
+        a.replicas.add(3)
+        assert b.replicas == set()

@@ -1,0 +1,64 @@
+"""Local and centralized page tables."""
+
+from repro.constants import Scheme
+from repro.memsys.page_table import CentralPageTable, LocalPageTable
+
+
+class TestLocalPageTable:
+    def test_lookup_miss_is_none(self):
+        pt = LocalPageTable(gpu_id=0)
+        assert pt.lookup(5) is None
+        assert 5 not in pt
+
+    def test_map_and_lookup(self):
+        pt = LocalPageTable(gpu_id=0)
+        pt.map(5, location=2, writable=False)
+        entry = pt.lookup(5)
+        assert entry.location == 2
+        assert not entry.writable
+        assert len(pt) == 1
+
+    def test_remap_overwrites(self):
+        pt = LocalPageTable(gpu_id=0)
+        pt.map(5, location=2, writable=False)
+        pt.map(5, location=0, writable=True)
+        assert pt.lookup(5).location == 0
+        assert len(pt) == 1
+
+    def test_invalidate(self):
+        pt = LocalPageTable(gpu_id=0)
+        pt.map(5, location=0, writable=True)
+        assert pt.invalidate(5)
+        assert not pt.invalidate(5)
+        assert pt.lookup(5) is None
+
+    def test_mapped_vpns(self):
+        pt = LocalPageTable(gpu_id=0)
+        for vpn in (3, 1, 2):
+            pt.map(vpn, location=0, writable=True)
+        assert sorted(pt.mapped_vpns()) == [1, 2, 3]
+
+
+class TestCentralPageTable:
+    def test_get_materializes_with_default_scheme(self):
+        pt = CentralPageTable(default_scheme=Scheme.DUPLICATION)
+        page = pt.get(9)
+        assert page.vpn == 9
+        assert page.scheme is Scheme.DUPLICATION
+        assert 9 in pt
+
+    def test_get_returns_same_object(self):
+        pt = CentralPageTable()
+        assert pt.get(1) is pt.get(1)
+
+    def test_peek_does_not_materialize(self):
+        pt = CentralPageTable()
+        assert pt.peek(4) is None
+        assert 4 not in pt
+        assert len(pt) == 0
+
+    def test_pages_iterates_materialized(self):
+        pt = CentralPageTable()
+        pt.get(1)
+        pt.get(2)
+        assert {page.vpn for page in pt.pages()} == {1, 2}

@@ -1,0 +1,57 @@
+"""PTE bit layout (Figure 14): scheme bits 9-10, group bits 52-53."""
+
+import pytest
+
+from repro.constants import GroupBits, Scheme
+from repro.memsys.pte import PageTableEntry
+
+
+class TestEncodeDecode:
+    def test_round_trip_full_entry(self):
+        entry = PageTableEntry(
+            pfn=0xABCDE,
+            valid=True,
+            writable=True,
+            user=True,
+            accessed=True,
+            dirty=True,
+            scheme=Scheme.DUPLICATION,
+            group=GroupBits.GROUP_64,
+            no_execute=True,
+        )
+        assert PageTableEntry.decode(entry.encode()) == entry
+
+    @pytest.mark.parametrize("scheme", list(Scheme))
+    def test_scheme_bits_land_at_bit_9(self, scheme):
+        entry = PageTableEntry(valid=True, scheme=scheme)
+        word = entry.encode()
+        assert (word >> 9) & 0b11 == int(scheme)
+
+    @pytest.mark.parametrize("group", list(GroupBits))
+    def test_group_bits_land_at_bit_52(self, group):
+        entry = PageTableEntry(valid=True, group=group)
+        word = entry.encode()
+        assert (word >> 52) & 0b11 == int(group)
+
+    def test_pfn_lands_at_bit_12(self):
+        entry = PageTableEntry(pfn=1, valid=True)
+        assert (entry.encode() >> 12) & 1 == 1
+
+    def test_no_scheme_encodes_as_zero(self):
+        entry = PageTableEntry(valid=True, scheme=None)
+        assert (entry.encode() >> 9) & 0b11 == 0
+        assert PageTableEntry.decode(entry.encode()).scheme is None
+
+    def test_group_bits_do_not_clobber_pfn(self):
+        entry = PageTableEntry(
+            pfn=(1 << 40) - 1, valid=True, group=GroupBits.GROUP_512
+        )
+        decoded = PageTableEntry.decode(entry.encode())
+        assert decoded.pfn == (1 << 40) - 1
+        assert decoded.group is GroupBits.GROUP_512
+
+    def test_invalid_entry_round_trip(self):
+        entry = PageTableEntry()
+        decoded = PageTableEntry.decode(entry.encode())
+        assert not decoded.valid
+        assert decoded.pfn == 0

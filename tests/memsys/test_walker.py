@@ -1,0 +1,60 @@
+"""Page-table walker and page-walk cache."""
+
+from repro.config import WalkerConfig
+from repro.memsys.walker import PageTableWalker, PageWalkCache
+
+
+class TestPageWalkCache:
+    def test_consecutive_pages_share_entries(self):
+        cache = PageWalkCache(entries=4)
+        assert not cache.probe(0)  # cold
+        assert cache.probe(1)  # same PT page (512 entries each)
+        assert cache.probe(511)
+        assert not cache.probe(512)  # next PT page
+
+    def test_lru_eviction(self):
+        cache = PageWalkCache(entries=2)
+        cache.probe(0)        # key 0
+        cache.probe(512)      # key 1
+        cache.probe(1024)     # key 2 evicts key 0
+        assert not cache.probe(0)
+
+    def test_hit_statistics(self):
+        cache = PageWalkCache(entries=4)
+        cache.probe(0)
+        cache.probe(1)
+        cache.probe(2)
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+
+class TestPageTableWalker:
+    def test_cold_walk_pays_full_depth(self):
+        walker = PageTableWalker(WalkerConfig())
+        assert walker.walk(0, now=0) == 400
+
+    def test_cached_walk_pays_leaf_only(self):
+        walker = PageTableWalker(WalkerConfig())
+        walker.walk(0, now=0)
+        assert walker.walk(1, now=1000) == 100
+
+    def test_queue_penalty_when_walkers_saturated(self):
+        walker = PageTableWalker(WalkerConfig(walkers=2))
+        latencies = [walker.walk(vpn * 512, now=5) for vpn in range(4)]
+        # First two walks fit the walkers; later ones queue.
+        assert latencies[0] == latencies[1] == 400
+        assert latencies[2] > 400
+        assert latencies[3] > latencies[2]
+
+    def test_queue_window_resets_over_time(self):
+        walker = PageTableWalker(WalkerConfig(walkers=1))
+        walker.walk(0, now=0)
+        walker.walk(512, now=0)
+        later = walker.walk(1024, now=10_000)
+        assert later == 400
+
+    def test_walk_counter(self):
+        walker = PageTableWalker(WalkerConfig())
+        for vpn in range(5):
+            walker.walk(vpn, now=vpn)
+        assert walker.walks == 5

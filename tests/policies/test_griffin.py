@@ -1,0 +1,82 @@
+"""Griffin comparator: DPC interval migration and ACUD discount."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.constants import HOST_NODE, LatencyCategory
+from repro.policies.griffin import GriffinPolicy
+from repro.uvm.driver import UvmDriver
+from repro.uvm.machine import MachineState
+
+
+def make_bound(policy: GriffinPolicy):
+    machine = MachineState.build(
+        SystemConfig(num_gpus=3), 30, initial_scheme=policy.initial_scheme()
+    )
+    driver = UvmDriver(machine, policy)
+    return machine, driver
+
+
+class TestDpc:
+    def test_tracks_remote_accesses_per_interval(self):
+        policy = GriffinPolicy()
+        machine, driver = make_bound(policy)
+        driver.handle_local_fault(0, 0, False)  # pins page 0 at GPU 0
+        driver.handle_local_fault(1, 0, False)  # remote map
+        for _ in range(10):
+            driver.on_remote_access(1, 0)
+        assert policy._interval_counts[0][1] == 10
+
+    def test_interval_migrates_to_dominant_accessor(self):
+        policy = GriffinPolicy(min_accesses=4)
+        machine, driver = make_bound(policy)
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        for _ in range(8):
+            driver.on_remote_access(1, 0)
+        policy.on_interval(now=policy.interval_cycles)
+        assert machine.central_pt.get(0).owner == 1
+        assert policy.dpc_migrations == 1
+
+    def test_interval_respects_min_accesses(self):
+        policy = GriffinPolicy(min_accesses=100)
+        machine, driver = make_bound(policy)
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        driver.on_remote_access(1, 0)
+        policy.on_interval(now=policy.interval_cycles)
+        assert machine.central_pt.get(0).owner == 0
+
+    def test_counts_clear_each_interval(self):
+        policy = GriffinPolicy(min_accesses=4)
+        machine, driver = make_bound(policy)
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        for _ in range(8):
+            driver.on_remote_access(1, 0)
+        policy.on_interval(now=policy.interval_cycles)
+        assert policy._interval_counts == {}
+
+    def test_migration_charged_to_destination_clock(self):
+        policy = GriffinPolicy(min_accesses=1)
+        machine, driver = make_bound(policy)
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        driver.on_remote_access(1, 0)
+        before = machine.gpus[1].clock
+        policy.on_interval(now=policy.interval_cycles)
+        assert machine.gpus[1].clock > before
+
+
+class TestAcud:
+    def test_acud_sets_flush_scale_from_config(self):
+        policy = GriffinPolicy(acud=True)
+        machine, _ = make_bound(policy)
+        assert policy.flush_scale == machine.config.latency.acud_discount
+        assert policy.name == "griffin"
+
+    def test_without_acud_full_flush(self):
+        policy = GriffinPolicy(acud=False)
+        make_bound(policy)
+        assert policy.flush_scale == 1.0
+        assert policy.name == "griffin_dpc"

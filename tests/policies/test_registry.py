@@ -1,0 +1,42 @@
+"""Policy registry completeness and construction."""
+
+import pytest
+
+from repro.errors import UnknownPolicyError
+from repro.policies import available_policies, make_policy
+from repro.policies.base import PlacementPolicy
+
+
+class TestRegistry:
+    def test_all_evaluated_policies_registered(self):
+        names = set(available_policies())
+        assert {
+            "on_touch",
+            "access_counter",
+            "duplication",
+            "first_touch",
+            "ideal",
+            "grit",
+            "grit_acud",
+            "griffin_dpc",
+            "griffin",
+            "griffin_dpc_transfw",
+            "gps",
+        } <= names
+
+    def test_every_policy_constructs(self):
+        for name in available_policies():
+            policy = make_policy(name)
+            assert isinstance(policy, PlacementPolicy)
+            assert policy.name == name
+
+    def test_instances_are_fresh(self):
+        assert make_policy("grit") is not make_policy("grit")
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(UnknownPolicyError):
+            make_policy("nope")
+
+    def test_describe_is_nonempty(self):
+        for name in available_policies():
+            assert make_policy(name).describe()

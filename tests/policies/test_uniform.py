@@ -1,0 +1,43 @@
+"""Uniform scheme policies map to fixed mechanics."""
+
+import pytest
+
+from repro.constants import Scheme
+from repro.memsys.page import PageInfo
+from repro.policies.access_counter import AccessCounterPolicy
+from repro.policies.base import Mechanic
+from repro.policies.duplication import DuplicationPolicy
+from repro.policies.first_touch import FirstTouchPolicy
+from repro.policies.gps import GpsPolicy
+from repro.policies.ideal import IdealPolicy
+from repro.policies.on_touch import OnTouchPolicy
+
+
+@pytest.mark.parametrize(
+    "policy_cls, mechanic, initial",
+    [
+        (OnTouchPolicy, Mechanic.ON_TOUCH, Scheme.ON_TOUCH),
+        (AccessCounterPolicy, Mechanic.ACCESS_COUNTER, Scheme.ACCESS_COUNTER),
+        (DuplicationPolicy, Mechanic.DUPLICATION, Scheme.DUPLICATION),
+        (FirstTouchPolicy, Mechanic.PEER_REMOTE, Scheme.ACCESS_COUNTER),
+        (IdealPolicy, Mechanic.IDEAL, Scheme.ON_TOUCH),
+        (GpsPolicy, Mechanic.GPS, Scheme.DUPLICATION),
+    ],
+)
+def test_mechanic_independent_of_page_state(policy_cls, mechanic, initial):
+    policy = policy_cls()
+    assert policy.initial_scheme() is initial
+    for scheme in Scheme:
+        page = PageInfo(vpn=0, scheme=scheme)
+        assert policy.mechanic_for(page) is mechanic
+
+
+def test_only_gps_has_gps_semantics():
+    assert GpsPolicy.gps_semantics
+    assert not OnTouchPolicy.gps_semantics
+    assert not DuplicationPolicy.gps_semantics
+
+
+def test_uniform_policies_have_no_interval_hook():
+    assert OnTouchPolicy().interval_cycles is None
+    assert AccessCounterPolicy().interval_cycles is None

@@ -1,0 +1,110 @@
+"""Tree-based neighborhood prefetcher (Section VI-E)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.policies.on_touch import OnTouchPolicy
+from repro.prefetch.tree import (
+    LEAF_PAGES,
+    NUM_LEAVES,
+    REGION_PAGES,
+    TreePrefetcher,
+)
+from repro.uvm.driver import UvmDriver
+from repro.uvm.machine import MachineState
+
+
+def make_driver(footprint=2048):
+    machine = MachineState.build(SystemConfig(num_gpus=2), footprint)
+    return UvmDriver(machine, OnTouchPolicy())
+
+
+@pytest.fixture
+def setup():
+    driver = make_driver()
+    prefetcher = TreePrefetcher()
+    prefetcher.bind(driver)
+    return driver, prefetcher
+
+
+class TestGeometry:
+    def test_tree_matches_paper_shape(self):
+        # 2 MB regions of 64 KB leaves.
+        assert REGION_PAGES == 512
+        assert LEAF_PAGES == 16
+        assert NUM_LEAVES == 32
+
+    def test_node_capacity_halves_per_level(self):
+        assert TreePrefetcher._node_capacity(1) == 512  # root
+        assert TreePrefetcher._node_capacity(2) == 256
+        assert TreePrefetcher._node_capacity(32) == 16  # leaf
+
+
+class TestTriggering:
+    def test_no_prefetch_below_threshold(self, setup):
+        driver, prefetcher = setup
+        # Touch under half of the smallest non-leaf span (32 pages).
+        for vpn in range(16):
+            driver.handle_local_fault(0, vpn, False)
+            prefetcher.on_install(0, vpn)
+        assert prefetcher.prefetched_pages == 0
+
+    def test_crossing_half_occupancy_prefetches_span(self, setup):
+        driver, prefetcher = setup
+        # Touch 17 of the 32 pages under node (leaves 0-1): > 50%.
+        for vpn in range(17):
+            driver.handle_local_fault(0, vpn, False)
+            prefetcher.on_install(0, vpn)
+        assert prefetcher.prefetched_pages > 0
+        machine = driver.machine
+        resident = sum(
+            1 for vpn in range(32) if vpn in machine.gpus[0].dram
+        )
+        assert resident >= 32 - machine.gpus[0].dram.evictions
+
+    def test_fired_nodes_do_not_refire(self, setup):
+        driver, prefetcher = setup
+        for vpn in range(17):
+            driver.handle_local_fault(0, vpn, False)
+            prefetcher.on_install(0, vpn)
+        # Higher-occupancy installs may escalate to *parent* nodes, but a
+        # node that fired once never fires again.
+        fired = set(prefetcher._fired[(0, 0)])
+        prefetcher.on_install(0, 17)
+        prefetcher.on_install(0, 18)
+        assert fired <= prefetcher._fired[(0, 0)]
+        # Once the root has fired, nothing further can trigger.
+        while 1 not in prefetcher._fired[(0, 0)]:
+            prefetcher.on_install(0, 19)
+        total = prefetcher.prefetched_pages
+        prefetcher.on_install(0, 20)
+        assert prefetcher.prefetched_pages == total
+
+    def test_prefetch_skips_pages_owned_elsewhere(self, setup):
+        driver, prefetcher = setup
+        driver.handle_local_fault(1, 20, False)  # GPU 1 owns page 20
+        for vpn in range(17):
+            driver.handle_local_fault(0, vpn, False)
+            prefetcher.on_install(0, vpn)
+        assert driver.machine.central_pt.get(20).owner == 1
+
+    def test_regions_tracked_independently(self, setup):
+        driver, prefetcher = setup
+        driver.handle_local_fault(0, REGION_PAGES + 5, False)
+        prefetcher.on_install(0, REGION_PAGES + 5)
+        assert prefetcher.prefetched_pages == 0
+
+    def test_per_gpu_trees_are_independent(self, setup):
+        driver, prefetcher = setup
+        for vpn in range(10):
+            driver.handle_local_fault(0, vpn, False)
+            prefetcher.on_install(0, vpn)
+        for vpn in range(10, 17):
+            driver.handle_local_fault(1, vpn, False)
+            prefetcher.on_install(1, vpn)
+        # Neither GPU alone crossed the threshold.
+        assert prefetcher.prefetched_pages == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            TreePrefetcher(threshold=0.0)

@@ -1,0 +1,281 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig, TLBConfig
+from repro.constants import GroupBits, Scheme
+from repro.core.neighbor import NeighboringAwarePredictor
+from repro.core.pa_cache import PACache
+from repro.core.pa_table import PATable
+from repro.memsys.address import AddressSpace
+from repro.memsys.dram import DramDirectory
+from repro.memsys.page_table import CentralPageTable, LocalPTE
+from repro.memsys.pte import PageTableEntry
+from repro.memsys.tlb import SetAssociativeTLB
+from repro.policies import make_policy
+from repro.sim import simulate
+from repro.workloads.base import WorkloadTrace
+
+vpns = st.integers(min_value=0, max_value=(1 << 40) - 1)
+schemes = st.sampled_from(list(Scheme))
+groups = st.sampled_from(list(GroupBits))
+
+
+class TestPTERoundTrip:
+    @given(
+        pfn=st.integers(min_value=0, max_value=(1 << 40) - 1),
+        valid=st.booleans(),
+        writable=st.booleans(),
+        dirty=st.booleans(),
+        scheme=st.one_of(st.none(), schemes),
+        group=groups,
+    )
+    def test_encode_decode_identity(
+        self, pfn, valid, writable, dirty, scheme, group
+    ):
+        entry = PageTableEntry(
+            pfn=pfn,
+            valid=valid,
+            writable=writable,
+            dirty=dirty,
+            scheme=scheme,
+            group=group,
+        )
+        assert PageTableEntry.decode(entry.encode()) == entry
+
+    @given(pfn=st.integers(min_value=0, max_value=(1 << 40) - 1), group=groups)
+    def test_fields_never_alias(self, pfn, group):
+        word = PageTableEntry(pfn=pfn, valid=True, group=group).encode()
+        decoded = PageTableEntry.decode(word)
+        assert decoded.pfn == pfn
+        assert decoded.group == group
+
+
+class TestGroupArithmetic:
+    @given(vpn=vpns, group=st.sampled_from([8, 64, 512]))
+    def test_base_is_aligned_and_contains_vpn(self, vpn, group):
+        base = AddressSpace.group_base(vpn, group)
+        assert base % group == 0
+        assert base <= vpn < base + group
+
+    @given(vpn=vpns, group=st.sampled_from([8, 64, 512]))
+    def test_members_of_same_group_share_base(self, vpn, group):
+        base = AddressSpace.group_base(vpn, group)
+        for member in (base, base + group - 1):
+            assert AddressSpace.group_base(member, group) == base
+
+
+class TestTLBInvariants:
+    @given(
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=1, max_size=200
+        )
+    )
+    def test_capacity_never_exceeded(self, accesses):
+        tlb = SetAssociativeTLB(
+            TLBConfig(entries=8, ways=2, lookup_latency=1)
+        )
+        for vpn in accesses:
+            tlb.insert(vpn, LocalPTE(location=0, writable=True))
+        assert len(tlb) <= 8
+
+    @given(
+        accesses=st.lists(
+            st.integers(min_value=0, max_value=63), min_size=1, max_size=200
+        )
+    )
+    def test_most_recent_insert_always_resident(self, accesses):
+        tlb = SetAssociativeTLB(
+            TLBConfig(entries=8, ways=2, lookup_latency=1)
+        )
+        for vpn in accesses:
+            tlb.insert(vpn, LocalPTE(location=0, writable=True))
+        assert tlb.lookup(accesses[-1]) is not None
+
+
+class TestDramInvariants:
+    @given(
+        installs=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=100
+        ),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_residency_never_exceeds_capacity(self, installs, capacity):
+        dram = DramDirectory(gpu_id=0, capacity_frames=capacity)
+        for vpn in installs:
+            dram.install(vpn)
+        assert len(dram) <= capacity
+
+    @given(
+        installs=st.lists(
+            st.integers(min_value=0, max_value=30), min_size=1, max_size=100
+        )
+    )
+    def test_install_makes_resident(self, installs):
+        dram = DramDirectory(gpu_id=0, capacity_frames=4)
+        for vpn in installs:
+            dram.install(vpn)
+            assert vpn in dram
+
+
+class TestPACacheInvariants:
+    @given(
+        faults=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=1, max_size=300
+        )
+    )
+    def test_no_entry_exists_in_both_levels(self, faults):
+        table = PATable()
+        cache = PACache(table, entries=16, ways=2)
+        for vpn in faults:
+            entry, _ = cache.access(vpn)
+            entry.record_fault(vpn % 3 == 0)
+        cached = {
+            vpn for entries in cache._sets for vpn in entries
+        }
+        in_table = {vpn for vpn in range(501) if vpn in table}
+        assert not (cached & in_table)
+
+    @given(
+        faults=st.lists(
+            st.integers(min_value=0, max_value=500), min_size=1, max_size=300
+        )
+    )
+    def test_fault_counts_never_lost(self, faults):
+        table = PATable()
+        cache = PACache(table, entries=16, ways=2)
+        for vpn in faults:
+            entry, _ = cache.access(vpn)
+            entry.record_fault(False)
+        cache.flush_to_table()
+        from collections import Counter
+
+        expected = Counter(faults)
+        for vpn, count in expected.items():
+            assert table.lookup(vpn).fault_counter == count
+
+
+class TestNeighborInvariants:
+    @given(
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=63),
+                st.sampled_from([Scheme.ACCESS_COUNTER, Scheme.DUPLICATION]),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(deadline=None)
+    def test_group_bits_stay_consistent(self, flips):
+        """After any flip sequence: group bases are aligned, nested
+        groups never overlap, and every member of an intact group uses
+        the base page's scheme."""
+        pt = CentralPageTable()
+        predictor = NeighboringAwarePredictor(pt)
+        for vpn, scheme in flips:
+            old = pt.get(vpn).scheme
+            pt.get(vpn).scheme = scheme
+            predictor.on_scheme_change(vpn, scheme, old)
+        claimed = set()
+        for page in list(pt.pages()):
+            if page.group is GroupBits.SINGLE:
+                continue
+            size = page.group.page_count
+            assert page.vpn % size == 0  # aligned base
+            members = range(page.vpn, page.vpn + size)
+            assert not (claimed & set(members))  # no overlap
+            claimed.update(members)
+            for member in members:
+                member_page = pt.peek(member)
+                assert member_page is not None
+                assert member_page.scheme == page.scheme
+
+
+class TestSimulationInvariants:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),  # gpu
+                st.integers(min_value=0, max_value=15),  # vpn
+                st.booleans(),  # write
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        policy_name=st.sampled_from(
+            ["on_touch", "access_counter", "duplication", "grit", "gps"]
+        ),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_any_trace_simulates_cleanly(self, data, policy_name):
+        streams = [[], []]
+        for gpu, vpn, write in data:
+            streams[gpu].append((vpn, write))
+        arrays = []
+        for accesses in streams:
+            if accesses:
+                arrays.append(
+                    (
+                        np.array([v for v, _ in accesses], dtype=np.int64),
+                        np.array([w for _, w in accesses], dtype=bool),
+                    )
+                )
+            else:
+                arrays.append(
+                    (np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+                )
+        trace = WorkloadTrace(
+            name="fuzz", num_gpus=2, footprint_pages=16, streams=arrays
+        )
+        result = simulate(
+            SystemConfig(num_gpus=2), trace, make_policy(policy_name)
+        )
+        assert result.counters.accesses == len(data)
+        assert result.total_cycles >= 0
+        # Full accounting consistency (the validator is itself the
+        # invariant: counters, breakdown, clocks, and link traffic must
+        # agree for every reachable machine state).
+        from repro.harness.validate import validate_result
+
+        assert validate_result(result) == []
+
+
+class TestTraceIoRoundTrip:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=30),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(deadline=None, max_examples=25)
+    def test_save_load_identity(self, data, tmp_path_factory):
+        from repro.workloads.trace_io import load_trace, save_trace
+
+        streams = [[], []]
+        for gpu, vpn, write in data:
+            streams[gpu].append((vpn, write))
+        arrays = []
+        for accesses in streams:
+            vpns = np.array([v for v, _ in accesses], dtype=np.int64)
+            writes = np.array([w for _, w in accesses], dtype=bool)
+            arrays.append((vpns, writes))
+        trace = WorkloadTrace(
+            name="fuzz-io", num_gpus=2, footprint_pages=32, streams=arrays
+        )
+        path = tmp_path_factory.mktemp("traces") / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.footprint_pages == 32
+        for (va, wa), (vb, wb) in zip(trace.streams, loaded.streams):
+            assert (va == vb).all()
+            assert (wa == wb).all()

@@ -1,0 +1,108 @@
+"""Engine corner cases beyond the main path tests."""
+
+from repro.config import SystemConfig
+from repro.policies import make_policy
+from repro.policies.base import Mechanic, PlacementPolicy
+from repro.sim.engine import Engine, simulate
+from tests.conftest import build_trace
+
+
+class TestIssueGap:
+    def test_issue_gap_adds_per_access_cycles(self):
+        trace = build_trace([[(0, False)] * 10], footprint_pages=4)
+        slow = simulate(
+            SystemConfig(num_gpus=1, issue_gap=100),
+            trace,
+            make_policy("on_touch"),
+        )
+        fast = simulate(
+            SystemConfig(num_gpus=1, issue_gap=0),
+            trace,
+            make_policy("on_touch"),
+        )
+        assert slow.total_cycles - fast.total_cycles == 10 * 100
+
+
+class TestIntervalHook:
+    def test_hook_fires_roughly_once_per_interval(self):
+        class CountingPolicy(PlacementPolicy):
+            name = "counting"
+            interval_cycles = 1_000
+
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            def mechanic_for(self, page):
+                return Mechanic.ON_TOUCH
+
+            def on_interval(self, now):
+                self.fired.append(now)
+
+        # Enough accesses to push the clock well past several intervals.
+        trace = build_trace(
+            [[(vpn % 8, False) for vpn in range(50)]], footprint_pages=8
+        )
+        policy = CountingPolicy()
+        result = simulate(SystemConfig(num_gpus=1), trace, policy)
+        assert policy.fired
+        assert len(policy.fired) <= result.total_cycles // 1_000 + 1
+        assert policy.fired == sorted(policy.fired)
+
+
+class TestMinClockInterleave:
+    def test_stalled_gpu_falls_behind(self):
+        # GPU 0 ping-pongs a shared page with GPU 1 (constant faults);
+        # GPU 1 additionally runs cheap private hits.  Both finish, and
+        # the shared page ends wherever the last toucher was.
+        shared = [(0, True)] * 6
+        private = [(1, False)] * 30
+        trace = build_trace([shared, shared + private], footprint_pages=4)
+        engine = Engine(
+            SystemConfig(num_gpus=2), trace, make_policy("on_touch")
+        )
+        result = engine.run()
+        assert result.counters.accesses == 42
+        # The ping-pong actually happened: the page moved repeatedly.
+        assert result.counters.migrations > 2
+
+    def test_per_gpu_clock_ordering_reflects_work(self):
+        light = [(0, False)] * 2
+        heavy = [(vpn, False) for vpn in range(1, 40)]
+        trace = build_trace([light, heavy], footprint_pages=64)
+        result = simulate(
+            SystemConfig(num_gpus=2), trace, make_policy("on_touch")
+        )
+        assert result.per_gpu_cycles[1] > result.per_gpu_cycles[0]
+
+
+class TestLargePageGritInterplay:
+    def test_nap_groups_operate_on_folded_vpns(self):
+        # 64 KB pages fold 16 base pages; GRIT's 8-page groups then
+        # cover 8 *large* pages.  Build neighbor-coherent traffic and
+        # check the run completes with consistent accounting.
+        accesses = []
+        for big_page in range(16):
+            accesses += [(big_page * 16, True)] * 4
+        trace = build_trace(
+            [accesses, list(accesses)], footprint_pages=256
+        )
+        config = SystemConfig(num_gpus=2, page_size=16 * 4096)
+        result = simulate(config, trace, make_policy("grit"))
+        from repro.harness.validate import validate_result
+
+        assert validate_result(result) == []
+        assert result.counters.scheme_changes > 0
+
+
+class TestWalkerSaturationThroughEngine:
+    def test_walk_bursts_cost_more_than_spread_walks(self):
+        # 64 distinct cold pages back to back saturate the 8 walkers.
+        burst = [(vpn, False) for vpn in range(64)]
+        trace = build_trace([burst], footprint_pages=64)
+        engine = Engine(
+            SystemConfig(num_gpus=1), trace, make_policy("on_touch")
+        )
+        engine.run()
+        walker = engine.machine.gpus[0].walker
+        assert walker.walks == 64

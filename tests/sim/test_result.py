@@ -1,0 +1,56 @@
+"""SimulationResult helpers: speedups, fault ratios, summaries."""
+
+import pytest
+
+from repro.sim.result import SimulationResult
+from repro.stats.counters import EventCounters
+from repro.stats.latency import LatencyBreakdown
+
+
+def make_result(cycles: int, faults: int = 0) -> SimulationResult:
+    counters = EventCounters()
+    counters.local_page_faults = faults
+    return SimulationResult(
+        workload="test",
+        policy="test",
+        total_cycles=cycles,
+        per_gpu_cycles=[cycles],
+        counters=counters,
+        breakdown=LatencyBreakdown(),
+        num_gpus=1,
+        page_size=4096,
+    )
+
+
+class TestSpeedup:
+    def test_speedup_is_baseline_over_self(self):
+        base = make_result(1000)
+        fast = make_result(500)
+        assert fast.speedup_over(base) == 2.0
+        assert base.speedup_over(fast) == 0.5
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(0).speedup_over(make_result(10))
+
+
+class TestFaultRatio:
+    def test_ratio(self):
+        assert make_result(1, faults=50).fault_ratio_vs(
+            make_result(1, faults=100)
+        ) == 0.5
+
+    def test_zero_baseline_faults(self):
+        assert make_result(1, faults=0).fault_ratio_vs(make_result(1)) == 0.0
+        assert make_result(1, faults=5).fault_ratio_vs(
+            make_result(1, faults=0)
+        ) == float("inf")
+
+
+class TestSummary:
+    def test_summary_is_flat_and_complete(self):
+        summary = make_result(123, faults=4).summary()
+        assert summary["total_cycles"] == 123
+        assert summary["local_page_faults"] == 4
+        assert summary["latency_local"] == 0
+        assert summary["workload"] == "test"

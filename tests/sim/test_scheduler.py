@@ -1,0 +1,52 @@
+"""TB scheduler helpers: block partition and fill order."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.scheduler import partition_blocks, round_robin_fill
+
+
+class TestPartitionBlocks:
+    def test_even_split(self):
+        chunks = partition_blocks(8, 4)
+        assert [list(chunk) for chunk in chunks] == [
+            [0, 1],
+            [2, 3],
+            [4, 5],
+            [6, 7],
+        ]
+
+    def test_remainder_goes_to_early_gpus(self):
+        chunks = partition_blocks(10, 4)
+        assert [len(chunk) for chunk in chunks] == [3, 3, 2, 2]
+
+    def test_chunks_are_contiguous_and_cover(self):
+        chunks = partition_blocks(17, 3)
+        flattened = [i for chunk in chunks for i in chunk]
+        assert flattened == list(range(17))
+
+    def test_more_gpus_than_items(self):
+        chunks = partition_blocks(2, 4)
+        assert [len(chunk) for chunk in chunks] == [1, 1, 0, 0]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            partition_blocks(4, 0)
+        with pytest.raises(ConfigError):
+            partition_blocks(-1, 2)
+
+
+class TestRoundRobinFill:
+    def test_fills_one_gpu_before_spilling(self):
+        assignment = round_robin_fill(6, 2, blocks_per_gpu=3)
+        assert assignment == [0, 0, 0, 1, 1, 1]
+
+    def test_wraps_after_all_full(self):
+        assignment = round_robin_fill(5, 2, blocks_per_gpu=2)
+        assert assignment == [0, 0, 1, 1, 0]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            round_robin_fill(4, 2, blocks_per_gpu=0)
+        with pytest.raises(ConfigError):
+            round_robin_fill(4, 0, blocks_per_gpu=1)

@@ -1,0 +1,79 @@
+"""Latency-model sensitivity: results' *shape* survives constant changes.
+
+DESIGN.md section 5 claims the reproduction relies only on the cost
+ordering (local << remote << fault << migration/collapse), not on the
+specific constants.  These tests vary the undocumented constants across
+a plausible range and assert the qualitative results hold.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.policies import make_policy
+from repro.sim import simulate
+from repro.workloads import make_workload
+
+SCALE = 0.15
+
+
+def config_with(**latency_overrides) -> SystemConfig:
+    base = SystemConfig()
+    return base.replace(
+        latency=dataclasses.replace(base.latency, **latency_overrides)
+    )
+
+
+def speedup(config, workload, policy, baseline="on_touch"):
+    result = simulate(
+        config, make_workload(workload, scale=SCALE), make_policy(policy)
+    )
+    base = simulate(
+        config, make_workload(workload, scale=SCALE), make_policy(baseline)
+    )
+    return result.speedup_over(base)
+
+
+class TestFaultCostSensitivity:
+    @pytest.mark.parametrize("fault_service", [2_000, 4_000, 8_000])
+    def test_grit_beats_on_touch_on_stencil(self, fault_service):
+        config = config_with(host_fault_service=fault_service)
+        assert speedup(config, "st", "grit") > 1.0
+
+    @pytest.mark.parametrize("fault_service", [2_000, 4_000, 8_000])
+    def test_duplication_beats_on_touch_on_gemm(self, fault_service):
+        config = config_with(host_fault_service=fault_service)
+        assert speedup(config, "gemm", "duplication") > 1.5
+
+
+class TestRemoteCostSensitivity:
+    @pytest.mark.parametrize("host_remote", [1_600, 2_400, 3_600])
+    def test_access_counter_loses_on_private_fir(self, host_remote):
+        config = config_with(host_remote_access=host_remote)
+        assert speedup(config, "fir", "access_counter") < 1.0
+
+    @pytest.mark.parametrize("remote", [800, 1_200, 1_800])
+    def test_access_counter_wins_on_bitonic_sort(self, remote):
+        config = config_with(remote_dram_access=remote)
+        assert speedup(config, "bs", "access_counter") > 1.5
+
+
+class TestFlushCostSensitivity:
+    @pytest.mark.parametrize("flush", [400, 800, 1_600])
+    def test_collapse_keeps_hurting_duplication_on_bs(self, flush):
+        config = config_with(pipeline_flush=flush)
+        dup = speedup(config, "bs", "duplication")
+        ac = speedup(config, "bs", "access_counter")
+        assert ac > dup
+
+
+class TestMlpSensitivity:
+    @pytest.mark.parametrize("mlp", [4, 8, 16])
+    def test_grit_average_advantage_survives(self, mlp):
+        config = config_with(data_access_mlp=mlp)
+        gains = [
+            speedup(config, workload, "grit")
+            for workload in ("bs", "gemm", "st")
+        ]
+        assert all(gain > 1.0 for gain in gains)

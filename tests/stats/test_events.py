@@ -1,0 +1,152 @@
+"""Structured event log."""
+
+import pytest
+
+from repro.stats.events import Event, EventKind, EventLog
+
+
+class TestEventLog:
+    def test_emit_and_iterate(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=5, gpu=0, detail=2, cycles=100)
+        events = list(log)
+        assert len(events) == 1
+        assert events[0] == Event(EventKind.MIGRATION, 5, 0, 2, 100)
+
+    def test_capacity_bound_drops_overflow(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit(EventKind.EVICTION, vpn=i, gpu=0)
+        assert len(log) == 2
+        assert log.dropped == 3
+
+    def test_filter_by_kind_and_page(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=0)
+        log.emit(EventKind.EVICTION, vpn=1, gpu=0)
+        log.emit(EventKind.MIGRATION, vpn=2, gpu=1)
+        assert len(log.filter(kind=EventKind.MIGRATION)) == 2
+        assert len(log.filter(vpn=1)) == 2
+        assert len(log.filter(kind=EventKind.MIGRATION, vpn=1)) == 1
+
+    def test_filter_with_predicate(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=0, cycles=50)
+        log.emit(EventKind.MIGRATION, vpn=2, gpu=0, cycles=500)
+        expensive = log.filter(predicate=lambda e: e.cycles > 100)
+        assert [e.vpn for e in expensive] == [2]
+
+    def test_counts(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, 1, 0)
+        log.emit(EventKind.MIGRATION, 2, 0)
+        log.emit(EventKind.DUPLICATION, 3, 1)
+        counts = log.counts()
+        assert counts["migration"] == 2
+        assert counts["duplication"] == 1
+        assert counts["eviction"] == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestEventLogThroughEngine:
+    def test_engine_populates_log(self):
+        from repro.config import SystemConfig
+        from repro.policies import make_policy
+        from repro.sim.engine import Engine
+        from tests.conftest import build_trace
+
+        trace = build_trace(
+            [
+                [(0, False), (0, True)],
+                [(0, False), (0, True)],
+            ],
+            footprint_pages=8,
+        )
+        log = EventLog()
+        engine = Engine(
+            SystemConfig(num_gpus=2),
+            trace,
+            make_policy("on_touch"),
+            event_log=log,
+        )
+        result = engine.run()
+        counts = log.counts()
+        assert counts["local_fault"] == result.counters.local_page_faults
+        assert counts["migration"] == result.counters.migrations
+
+    def test_event_counts_match_counters_for_duplication(self):
+        from repro.config import SystemConfig
+        from repro.policies import make_policy
+        from repro.sim.engine import Engine
+        from tests.conftest import build_trace
+
+        trace = build_trace(
+            [
+                [(0, False), (0, True)],
+                [(0, False)],
+            ],
+            footprint_pages=8,
+        )
+        log = EventLog()
+        engine = Engine(
+            SystemConfig(num_gpus=2),
+            trace,
+            make_policy("duplication"),
+            event_log=log,
+        )
+        result = engine.run()
+        counts = log.counts()
+        assert counts["duplication"] == result.counters.duplications
+        assert counts["write_collapse"] == result.counters.write_collapses
+
+    def test_page_history_tells_the_story(self):
+        from repro.config import SystemConfig
+        from repro.policies import make_policy
+        from repro.sim.engine import Engine
+        from tests.conftest import build_trace
+
+        # Read by both GPUs, then written: duplicate then collapse.
+        trace = build_trace(
+            [
+                [(0, False)],
+                [(0, False), (0, True)],
+            ],
+            footprint_pages=8,
+        )
+        log = EventLog()
+        Engine(
+            SystemConfig(num_gpus=2),
+            trace,
+            make_policy("duplication"),
+            event_log=log,
+        ).run()
+        kinds = [event.kind for event in log.page_history(0)]
+        assert EventKind.DUPLICATION in kinds
+        assert EventKind.WRITE_COLLAPSE in kinds
+        assert kinds.index(EventKind.DUPLICATION) < kinds.index(
+            EventKind.WRITE_COLLAPSE
+        )
+
+    def test_grit_scheme_changes_logged(self):
+        from repro.config import SystemConfig
+        from repro.policies import make_policy
+        from repro.sim.engine import Engine
+        from tests.conftest import build_trace
+
+        # Ping-pong until GRIT's threshold fires.
+        stream = [(0, True)] * 10
+        trace = build_trace([stream, stream], footprint_pages=8)
+        log = EventLog()
+        result = Engine(
+            SystemConfig(num_gpus=2),
+            trace,
+            make_policy("grit"),
+            event_log=log,
+        ).run()
+        assert (
+            len(log.filter(kind=EventKind.SCHEME_CHANGE))
+            == result.counters.scheme_changes
+        )

@@ -1,0 +1,60 @@
+"""Latency breakdown accumulator (Figure 3 categories)."""
+
+import pytest
+
+from repro.constants import LatencyCategory
+from repro.stats.latency import LatencyBreakdown
+
+
+class TestLatencyBreakdown:
+    def test_starts_empty(self):
+        breakdown = LatencyBreakdown()
+        assert breakdown.total == 0
+        assert all(value == 0 for value in breakdown.as_dict().values())
+
+    def test_charge_accumulates(self):
+        breakdown = LatencyBreakdown()
+        breakdown.charge(LatencyCategory.HOST, 100)
+        breakdown.charge(LatencyCategory.HOST, 50)
+        assert breakdown.cycles(LatencyCategory.HOST) == 150
+        assert breakdown.total == 150
+
+    def test_negative_charge_rejected(self):
+        breakdown = LatencyBreakdown()
+        with pytest.raises(ValueError):
+            breakdown.charge(LatencyCategory.LOCAL, -1)
+
+    def test_as_dict_uses_figure_labels(self):
+        breakdown = LatencyBreakdown()
+        assert list(breakdown.as_dict()) == [
+            "Local",
+            "Host",
+            "Page-migration",
+            "Remote-access",
+            "Page-duplication",
+            "Write-collapse",
+        ]
+
+    def test_fractions_sum_to_one(self):
+        breakdown = LatencyBreakdown()
+        breakdown.charge(LatencyCategory.LOCAL, 25)
+        breakdown.charge(LatencyCategory.WRITE_COLLAPSE, 75)
+        fractions = breakdown.fractions()
+        assert fractions["Local"] == 0.25
+        assert fractions["Write-collapse"] == 0.75
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_of_empty_breakdown(self):
+        assert all(v == 0.0 for v in LatencyBreakdown().fractions().values())
+
+    def test_merged_with(self):
+        a = LatencyBreakdown()
+        b = LatencyBreakdown()
+        a.charge(LatencyCategory.HOST, 10)
+        b.charge(LatencyCategory.HOST, 5)
+        b.charge(LatencyCategory.LOCAL, 1)
+        merged = a.merged_with([b])
+        assert merged.cycles(LatencyCategory.HOST) == 15
+        assert merged.cycles(LatencyCategory.LOCAL) == 1
+        # Originals untouched.
+        assert a.cycles(LatencyCategory.HOST) == 10

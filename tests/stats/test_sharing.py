@@ -1,0 +1,57 @@
+"""Page access ledger: private/shared and read/RW classification."""
+
+import pytest
+
+from repro.stats.sharing import PageAccessLedger
+
+
+class TestPageAccessLedger:
+    def test_private_read_page(self):
+        ledger = PageAccessLedger()
+        ledger.record(gpu=0, vpn=1, is_write=False)
+        ledger.record(gpu=0, vpn=1, is_write=False)
+        entry = ledger.entry(1)
+        assert not entry.is_shared
+        assert not entry.is_read_write
+        assert entry.reads == 2
+        assert entry.num_touchers == 1
+
+    def test_shared_page_detection(self):
+        ledger = PageAccessLedger()
+        ledger.record(0, 1, False)
+        ledger.record(2, 1, False)
+        entry = ledger.entry(1)
+        assert entry.is_shared
+        assert entry.num_touchers == 2
+
+    def test_read_write_page_detection(self):
+        ledger = PageAccessLedger()
+        ledger.record(0, 1, False)
+        ledger.record(0, 1, True)
+        assert ledger.entry(1).is_read_write
+
+    def test_summary_fractions(self):
+        ledger = PageAccessLedger()
+        # Page 0: private read, 3 accesses; page 1: shared RW, 1 access.
+        for _ in range(3):
+            ledger.record(0, 0, False)
+        ledger.record(1, 1, True)
+        ledger.record(0, 1, False)
+        summary = ledger.summary()
+        assert summary.total_pages == 2
+        assert summary.total_accesses == 5
+        assert summary.shared_page_fraction == 0.5
+        assert summary.shared_access_fraction == pytest.approx(0.4)
+        assert summary.read_write_page_fraction == 0.5
+        assert summary.read_access_fraction == pytest.approx(0.6)
+
+    def test_empty_summary_is_zero(self):
+        summary = PageAccessLedger().summary()
+        assert summary.total_pages == 0
+        assert summary.shared_page_fraction == 0.0
+
+    def test_high_gpu_ids_supported(self):
+        ledger = PageAccessLedger()
+        ledger.record(15, 0, False)
+        ledger.record(0, 0, False)
+        assert ledger.entry(0).num_touchers == 2

@@ -1,0 +1,72 @@
+"""Interval timelines (Figures 5, 6-8, 10)."""
+
+import pytest
+
+from repro.stats.timeline import IntervalTimeline
+
+
+class TestIntervalTimeline:
+    def test_records_bucket_by_interval(self):
+        timeline = IntervalTimeline(num_gpus=2, interval_length=10)
+        timeline.record(time=0, gpu=0, vpn=5, is_write=False)
+        timeline.record(time=9, gpu=1, vpn=5, is_write=True)
+        timeline.record(time=10, gpu=0, vpn=5, is_write=False)
+        first = timeline.sample(0, 5)
+        assert first.reads == 1
+        assert first.writes == 1
+        assert first.per_gpu_accesses == (1, 1)
+        second = timeline.sample(1, 5)
+        assert second.reads == 1
+        assert second.per_gpu_accesses == (1, 0)
+
+    def test_num_intervals_tracks_max(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=5)
+        timeline.record(23, 0, 0, False)
+        assert timeline.num_intervals == 5
+
+    def test_missing_sample_is_none(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=5)
+        timeline.record(0, 0, 0, False)
+        assert timeline.sample(0, 99) is None
+
+    def test_page_timeline_length(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=5)
+        timeline.record(0, 0, 7, False)
+        timeline.record(12, 0, 7, False)
+        rows = timeline.page_timeline(7)
+        assert len(rows) == 3
+        assert rows[0] is not None
+        assert rows[1] is None
+        assert rows[2] is not None
+
+    def test_sharing_label(self):
+        timeline = IntervalTimeline(num_gpus=2, interval_length=10)
+        timeline.record(0, 0, 1, False)
+        assert timeline.sharing_label(0, 1) == "private"
+        timeline.record(1, 1, 1, False)
+        assert timeline.sharing_label(0, 1) == "shared"
+        assert timeline.sharing_label(0, 42) is None
+
+    def test_rw_label(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=10)
+        timeline.record(0, 0, 1, False)
+        assert timeline.rw_label(0, 1) == "read"
+        timeline.record(1, 0, 1, True)
+        assert timeline.rw_label(0, 1) == "read-write"
+
+    def test_touched_pages_sorted_unique(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=10)
+        for vpn in (5, 2, 5, 9):
+            timeline.record(0, 0, vpn, False)
+        assert timeline.touched_pages() == [2, 5, 9]
+
+    def test_pages_in_interval(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=10)
+        timeline.record(0, 0, 3, False)
+        timeline.record(11, 0, 4, False)
+        assert timeline.pages_in_interval(0) == [3]
+        assert timeline.pages_in_interval(1) == [4]
+
+    def test_rejects_bad_interval_length(self):
+        with pytest.raises(ValueError):
+            IntervalTimeline(num_gpus=1, interval_length=0)

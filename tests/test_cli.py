@@ -1,0 +1,126 @@
+"""CLI commands (run in-process through main())."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "grit" in output
+        assert "gemm" in output
+        assert "fig17" in output
+
+
+class TestRun:
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "fir", "grit", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "total_cycles" in output
+        assert "local_page_faults" in output
+
+    def test_run_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope", "grit"])
+
+
+class TestFigure:
+    def test_single_figure(self, capsys):
+        assert main(["figure", "fig04", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "fig04" in output
+        assert "private_pages" in output
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestCharacterize:
+    def test_characterize_prints_fractions(self, capsys):
+        assert main(["characterize", "gemm", "--scale", "0.05"]) == 0
+        output = capsys.readouterr().out
+        assert "shared_page_fraction" in output
+
+
+class TestFigureFormats:
+    def test_json_output(self, capsys):
+        assert main(["figure", "fig04", "--scale", "0.05", "--format", "json"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "fig04"
+        assert "rows" in data
+
+    def test_csv_output(self, capsys):
+        assert main(["figure", "fig04", "--scale", "0.05", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("row,")
+        assert len(lines) > 2
+
+
+class TestReport:
+    def test_report_writes_markdown(self, tmp_path, capsys, monkeypatch):
+        # Use a figure subset for speed by patching the registry copy
+        # the CLI iterates — full-report generation is covered by the
+        # benchmark harness.
+        from repro.harness import reproduce
+
+        output = tmp_path / "REPORT.md"
+        text = reproduce.write_report(output, scale=0.05, figures=["fig09"])
+        assert output.exists()
+        assert "fig09" in text
+
+
+class TestDumpTrace:
+    def test_dump_and_reload(self, tmp_path, capsys):
+        output = tmp_path / "fir.npz"
+        assert (
+            main(["dump-trace", "fir", str(output), "--scale", "0.05"]) == 0
+        )
+        assert output.exists()
+        from repro.workloads.trace_io import load_trace
+
+        assert load_trace(output).name == "fir"
+
+
+class TestSweep:
+    def test_sweep_prints_matrix(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--workloads",
+                    "fir,st",
+                    "--policies",
+                    "grit",
+                    "--scale",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "fir" in output and "st" in output
+        assert "grit" in output and "on_touch" in output
+
+    def test_sweep_metric_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--workloads",
+                    "fir",
+                    "--policies",
+                    "on_touch",
+                    "--metric",
+                    "faults",
+                    "--scale",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+        assert "faults" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Constants: scheme/group encodings match the paper's tables."""
+
+import pytest
+
+from repro.constants import (
+    ACCESS_COUNTER_GROUP_BYTES,
+    ACCESS_COUNTER_THRESHOLD,
+    DEFAULT_FAULT_THRESHOLD,
+    GROUP_FANOUT,
+    GROUP_LADDER,
+    GroupBits,
+    LatencyCategory,
+    Scheme,
+)
+
+
+class TestScheme:
+    def test_scheme_bits_match_table_iv(self):
+        assert Scheme.ON_TOUCH == 0b01
+        assert Scheme.ACCESS_COUNTER == 0b10
+        assert Scheme.DUPLICATION == 0b11
+
+    def test_short_names(self):
+        assert Scheme.ON_TOUCH.short_name == "OT"
+        assert Scheme.ACCESS_COUNTER.short_name == "AC"
+        assert Scheme.DUPLICATION.short_name == "D"
+
+    def test_zero_is_not_a_scheme(self):
+        with pytest.raises(ValueError):
+            Scheme(0)
+
+
+class TestGroupBits:
+    def test_encodings_match_table_v(self):
+        assert GroupBits.SINGLE == 0b00
+        assert GroupBits.GROUP_8 == 0b01
+        assert GroupBits.GROUP_64 == 0b10
+        assert GroupBits.GROUP_512 == 0b11
+
+    def test_page_counts_match_table_v(self):
+        assert GroupBits.SINGLE.page_count == 1
+        assert GroupBits.GROUP_8.page_count == 8
+        assert GroupBits.GROUP_64.page_count == 64
+        assert GroupBits.GROUP_512.page_count == 512
+
+    def test_for_page_count_round_trips(self):
+        for bits in GroupBits:
+            assert GroupBits.for_page_count(bits.page_count) is bits
+
+    def test_for_page_count_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            GroupBits.for_page_count(16)
+
+    def test_ladder_fanout_is_consistent(self):
+        for lower, upper in zip(GROUP_LADDER, GROUP_LADDER[1:]):
+            assert upper.page_count == lower.page_count * GROUP_FANOUT
+
+
+class TestPaperConstants:
+    def test_access_counter_defaults(self):
+        assert ACCESS_COUNTER_THRESHOLD == 256
+        assert ACCESS_COUNTER_GROUP_BYTES == 64 * 1024
+
+    def test_fault_threshold_default(self):
+        assert DEFAULT_FAULT_THRESHOLD == 4
+
+    def test_latency_categories_cover_figure_3(self):
+        labels = {category.label for category in LatencyCategory}
+        assert labels == {
+            "Local",
+            "Host",
+            "Page-migration",
+            "Remote-access",
+            "Page-duplication",
+            "Write-collapse",
+        }

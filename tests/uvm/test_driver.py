@@ -1,0 +1,241 @@
+"""UVM driver: fault resolution per mechanic."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.constants import HOST_NODE, FaultKind, LatencyCategory, Scheme
+from repro.policies.access_counter import AccessCounterPolicy
+from repro.policies.base import FaultObservation, Mechanic, PlacementPolicy
+from repro.policies.duplication import DuplicationPolicy
+from repro.policies.first_touch import FirstTouchPolicy
+from repro.policies.gps import GpsPolicy
+from repro.policies.ideal import IdealPolicy
+from repro.policies.on_touch import OnTouchPolicy
+from repro.uvm.driver import UvmDriver
+from repro.uvm.machine import MachineState
+
+
+def make_driver(policy: PlacementPolicy, num_gpus=3, footprint=30):
+    machine = MachineState.build(
+        SystemConfig(num_gpus=num_gpus),
+        footprint,
+        initial_scheme=policy.initial_scheme(),
+    )
+    return UvmDriver(machine, policy)
+
+
+class TestOnTouch:
+    def test_cold_fault_places_page_locally(self):
+        driver = make_driver(OnTouchPolicy())
+        cycles = driver.handle_local_fault(1, 0, is_write=False)
+        assert cycles > 0
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == 1
+        assert driver.machine.counters.local_page_faults == 1
+
+    def test_second_gpu_fault_migrates(self):
+        driver = make_driver(OnTouchPolicy())
+        driver.handle_local_fault(1, 0, False)
+        driver.handle_local_fault(2, 0, False)
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == 2
+        assert driver.machine.counters.migrations >= 1
+
+    def test_write_fault_marks_dirty(self):
+        driver = make_driver(OnTouchPolicy())
+        driver.handle_local_fault(1, 0, is_write=True)
+        page = driver.machine.central_pt.get(0)
+        assert page.dirty and page.ever_written
+
+    def test_host_latency_charged(self):
+        driver = make_driver(OnTouchPolicy())
+        driver.handle_local_fault(0, 0, False)
+        assert driver.machine.breakdown.cycles(LatencyCategory.HOST) > 0
+
+
+class TestAccessCounterMechanic:
+    def test_first_touch_maps_to_host(self):
+        driver = make_driver(AccessCounterPolicy())
+        driver.handle_local_fault(1, 0, False)
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == HOST_NODE  # no eager migration
+        pte = driver.machine.gpus[1].page_table.lookup(0)
+        assert pte.location == HOST_NODE
+
+    def test_remote_access_below_threshold_no_migration(self):
+        driver = make_driver(AccessCounterPolicy())
+        driver.handle_local_fault(1, 0, False)
+        for _ in range(10):
+            assert driver.on_remote_access(1, 0) == 0
+        assert driver.machine.counters.migrations == 0
+
+    def test_threshold_triggers_migration(self):
+        driver = make_driver(AccessCounterPolicy())
+        driver.handle_local_fault(1, 0, False)
+        threshold = driver.machine.access_counters.threshold
+        cycles = 0
+        for _ in range(threshold):
+            cycles = driver.on_remote_access(1, 0)
+        assert cycles > 0
+        assert driver.machine.central_pt.get(0).owner == 1
+        assert driver.machine.counters.migrations == 1
+
+    def test_remote_access_counted(self):
+        driver = make_driver(AccessCounterPolicy())
+        driver.handle_local_fault(1, 0, False)
+        driver.on_remote_access(1, 0)
+        assert driver.machine.counters.remote_accesses == 1
+
+
+class TestDuplicationMechanic:
+    def test_cold_read_places_read_only(self):
+        driver = make_driver(DuplicationPolicy())
+        driver.handle_local_fault(0, 0, is_write=False)
+        pte = driver.machine.gpus[0].page_table.lookup(0)
+        assert not pte.writable  # copy-on-write placement
+
+    def test_cold_write_places_writable(self):
+        driver = make_driver(DuplicationPolicy())
+        driver.handle_local_fault(0, 0, is_write=True)
+        assert driver.machine.gpus[0].page_table.lookup(0).writable
+
+    def test_second_reader_gets_replica(self):
+        driver = make_driver(DuplicationPolicy())
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == 0
+        assert page.replicas == {1}
+
+    def test_protection_fault_collapses(self):
+        driver = make_driver(DuplicationPolicy())
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        cycles = driver.handle_protection_fault(0, 0)
+        assert cycles > 0
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == 0
+        assert page.replicas == set()
+        assert driver.machine.counters.protection_faults == 1
+
+    def test_faulting_write_by_third_gpu_collapses_with_move(self):
+        driver = make_driver(DuplicationPolicy())
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        driver.handle_local_fault(2, 0, True)
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == 2
+        assert page.replicas == set()
+        assert driver.machine.counters.write_collapses == 1
+
+
+class TestGpsMechanic:
+    def test_subscribers_get_writable_replicas(self):
+        driver = make_driver(GpsPolicy())
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        assert driver.machine.gpus[1].page_table.lookup(0).writable
+
+    def test_gps_write_broadcast_cost_scales_with_subscribers(self):
+        driver = make_driver(GpsPolicy())
+        driver.handle_local_fault(0, 0, False)
+        assert driver.gps_write(0, 0) == 0  # no other subscribers
+        driver.handle_local_fault(1, 0, False)
+        driver.handle_local_fault(2, 0, False)
+        assert driver.gps_write(0, 0) == 2 * (
+            driver.machine.config.latency.gps_store_broadcast
+        )
+
+    def test_gps_write_never_collapses(self):
+        driver = make_driver(GpsPolicy())
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, False)
+        driver.gps_write(1, 0)
+        page = driver.machine.central_pt.get(0)
+        assert page.replicas == {1}
+        assert driver.machine.counters.write_collapses == 0
+
+
+class TestIdealMechanic:
+    def test_first_touch_pays_cold_cost(self):
+        driver = make_driver(IdealPolicy())
+        cycles = driver.handle_local_fault(0, 0, False)
+        assert cycles > 0
+
+    def test_later_gpus_map_for_free(self):
+        driver = make_driver(IdealPolicy())
+        driver.handle_local_fault(0, 0, False)
+        assert driver.handle_local_fault(1, 0, False) == 0
+        page = driver.machine.central_pt.get(0)
+        assert page.is_local_to(0) and page.is_local_to(1)
+
+    def test_ideal_counts_no_faults(self):
+        driver = make_driver(IdealPolicy())
+        driver.handle_local_fault(0, 0, False)
+        driver.handle_local_fault(1, 0, True)
+        assert driver.machine.counters.total_faults == 0
+
+
+class TestFirstTouchMechanic:
+    def test_pins_at_first_toucher(self):
+        driver = make_driver(FirstTouchPolicy())
+        driver.handle_local_fault(1, 0, False)
+        page = driver.machine.central_pt.get(0)
+        assert page.owner == 1
+
+    def test_other_gpus_map_remote_forever(self):
+        driver = make_driver(FirstTouchPolicy())
+        driver.handle_local_fault(1, 0, False)
+        driver.handle_local_fault(2, 0, False)
+        pte = driver.machine.gpus[2].page_table.lookup(0)
+        assert pte.location == 1
+        # Remote accesses never migrate under first-touch.
+        for _ in range(300):
+            driver.on_remote_access(2, 0)
+        assert driver.machine.central_pt.get(0).owner == 1
+
+
+class TestPolicyHooks:
+    def test_collapse_charged_via_observation(self):
+        class CollapsingPolicy(OnTouchPolicy):
+            def on_fault_observed(self, gpu, vpn, kind, is_write):
+                return FaultObservation(collapse_charged=(0,))
+
+        driver = make_driver(CollapsingPolicy())
+        # Build a replicated page by hand.
+        page = driver.machine.central_pt.get(0)
+        driver.migration.place_from_host(
+            page, 0, LatencyCategory.PAGE_DUPLICATION
+        )
+        driver.duplication.duplicate(page, 1)
+        driver.handle_local_fault(2, 5, False)
+        assert page.replicas == set()
+
+    def test_unknown_mechanic_raises(self):
+        class BrokenPolicy(OnTouchPolicy):
+            def mechanic_for(self, page):
+                return "bogus"
+
+        driver = make_driver(BrokenPolicy())
+        from repro.errors import PolicyError
+
+        with pytest.raises(PolicyError):
+            driver.handle_local_fault(0, 0, False)
+
+
+class TestPrefetchEntryPoint:
+    def test_prefetches_host_pages_only(self):
+        driver = make_driver(OnTouchPolicy())
+        assert driver.prefetch_page(0, 3)
+        assert not driver.prefetch_page(1, 3)  # now owned by GPU 0
+        assert driver.machine.counters.prefetches == 1
+
+    def test_prefetch_respects_footprint(self):
+        driver = make_driver(OnTouchPolicy(), footprint=10)
+        assert not driver.prefetch_page(0, 10)
+
+    def test_prefetched_page_is_mapped(self):
+        driver = make_driver(OnTouchPolicy())
+        driver.prefetch_page(2, 4)
+        pte = driver.machine.gpus[2].page_table.lookup(4)
+        assert pte.location == 2

@@ -1,0 +1,139 @@
+"""Duplication mechanics: replication, collapse, replica drops."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.constants import LatencyCategory
+from repro.uvm.duplication import DuplicationEngine
+from repro.uvm.machine import MachineState
+from repro.uvm.migration import MigrationEngine
+
+
+@pytest.fixture
+def machine() -> MachineState:
+    return MachineState.build(SystemConfig(num_gpus=3), footprint_pages=30)
+
+
+@pytest.fixture
+def engine(machine: MachineState) -> DuplicationEngine:
+    return DuplicationEngine(machine, MigrationEngine(machine))
+
+
+def place(machine, engine, vpn, owner):
+    page = machine.central_pt.get(vpn)
+    engine.migration.place_from_host(
+        page, owner, LatencyCategory.PAGE_DUPLICATION
+    )
+    return page
+
+
+class TestDuplicate:
+    def test_creates_read_only_replica(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        cycles = engine.duplicate(page, 1)
+        assert cycles > 0
+        assert page.replicas == {1}
+        pte = machine.gpus[1].page_table.lookup(0)
+        assert pte.location == 1 and not pte.writable
+        assert 0 in machine.gpus[1].dram
+        assert machine.counters.duplications == 1
+
+    def test_downgrades_owner_to_read_only(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        assert not machine.gpus[0].page_table.lookup(0).writable
+
+    def test_duplicate_unplaced_page_places_it(self, machine, engine):
+        page = machine.central_pt.get(5)
+        engine.duplicate(page, 2)
+        assert page.owner == 2
+        assert page.replicas == set()
+
+    def test_duplicate_to_holder_is_free(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        assert engine.duplicate(page, 1) == 0
+
+    def test_gps_replicas_stay_writable(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1, writable_replica=True)
+        assert machine.gpus[1].page_table.lookup(0).writable
+        # GPS does not downgrade the owner either.
+        assert machine.gpus[0].page_table.lookup(0).writable
+
+    def test_charges_duplication_category(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        before = machine.breakdown.cycles(LatencyCategory.PAGE_DUPLICATION)
+        cycles = engine.duplicate(page, 1)
+        after = machine.breakdown.cycles(LatencyCategory.PAGE_DUPLICATION)
+        assert after - before == cycles
+
+
+class TestCollapse:
+    def test_collapse_makes_writer_sole_owner(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        engine.duplicate(page, 2)
+        cycles = engine.collapse_to_writer(page, 1)
+        assert cycles > 0
+        assert page.owner == 1
+        assert page.replicas == set()
+        assert page.dirty and page.ever_written
+        assert machine.counters.write_collapses == 1
+
+    def test_losers_lose_frames_and_mappings(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        engine.collapse_to_writer(page, 1)
+        assert machine.gpus[0].page_table.lookup(0) is None
+        assert 0 not in machine.gpus[0].dram
+
+    def test_writer_mapping_upgraded(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        engine.collapse_to_writer(page, 1)
+        assert machine.gpus[1].page_table.lookup(0).writable
+
+    def test_losers_stall(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        before = machine.gpus[0].clock
+        engine.collapse_to_writer(page, 1)
+        assert machine.gpus[0].clock > before
+
+    def test_collapse_with_transfer_for_new_writer(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.collapse_to_writer(page, 2)  # writer had no copy
+        assert page.owner == 2
+        assert 0 in machine.gpus[2].dram
+
+    def test_collapse_by_owner_with_no_replicas(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        cycles = engine.collapse_to_writer(page, 0)
+        assert page.owner == 0
+        assert cycles == 0  # nothing to flush or move
+
+    def test_charges_write_collapse_category(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        before = machine.breakdown.cycles(LatencyCategory.WRITE_COLLAPSE)
+        cycles = engine.collapse_to_writer(page, 1)
+        after = machine.breakdown.cycles(LatencyCategory.WRITE_COLLAPSE)
+        assert after - before == cycles
+
+
+class TestDropReplicas:
+    def test_drop_replicas_restores_owner_write(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        engine.duplicate(page, 1)
+        engine.duplicate(page, 2)
+        cycles = engine.drop_replicas(page)
+        assert cycles > 0
+        assert page.replicas == set()
+        assert page.owner == 0
+        assert machine.gpus[0].page_table.lookup(0).writable
+        assert machine.gpus[1].page_table.lookup(0) is None
+
+    def test_drop_replicas_noop_without_replicas(self, machine, engine):
+        page = place(machine, engine, 0, owner=0)
+        assert engine.drop_replicas(page) == 0

@@ -1,0 +1,152 @@
+"""Migration mechanics: placement, moves, invalidations, evictions."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.constants import HOST_NODE, LatencyCategory
+from repro.uvm.machine import MachineState
+from repro.uvm.migration import MigrationEngine
+
+
+@pytest.fixture
+def machine() -> MachineState:
+    return MachineState.build(SystemConfig(num_gpus=3), footprint_pages=12)
+
+
+@pytest.fixture
+def engine(machine: MachineState) -> MigrationEngine:
+    return MigrationEngine(machine)
+
+
+class TestPlacement:
+    def test_place_from_host(self, machine, engine):
+        page = machine.central_pt.get(0)
+        cycles = engine.place_from_host(page, 1, LatencyCategory.PAGE_MIGRATION)
+        assert cycles > 0
+        assert page.owner == 1
+        assert 0 in machine.gpus[1].dram
+        pte = machine.gpus[1].page_table.lookup(0)
+        assert pte.location == 1 and pte.writable
+
+    def test_read_only_placement(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(
+            page, 1, LatencyCategory.PAGE_DUPLICATION, writable=False
+        )
+        assert not machine.gpus[1].page_table.lookup(0).writable
+
+    def test_placement_charged_to_category(self, machine, engine):
+        page = machine.central_pt.get(0)
+        cycles = engine.place_from_host(page, 1, LatencyCategory.PAGE_MIGRATION)
+        assert machine.breakdown.cycles(LatencyCategory.PAGE_MIGRATION) == cycles
+
+
+class TestMigration:
+    def test_migrate_moves_ownership_and_frames(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        cycles = engine.migrate(page, 2)
+        assert cycles > 0
+        assert page.owner == 2
+        assert 0 not in machine.gpus[0].dram
+        assert 0 in machine.gpus[2].dram
+        assert machine.counters.migrations == 1
+
+    def test_migrate_invalidates_stale_mappings(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        machine.gpus[1].page_table.map(0, 0, writable=True)  # remote map
+        engine.migrate(page, 2)
+        assert machine.gpus[0].page_table.lookup(0) is None
+        assert machine.gpus[1].page_table.lookup(0) is None
+        assert machine.gpus[2].page_table.lookup(0).location == 2
+
+    def test_migrate_stalls_old_owner(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        before = machine.gpus[0].clock
+        engine.migrate(page, 1)
+        assert machine.gpus[0].clock > before
+
+    def test_migrate_from_host_is_placement(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.migrate(page, 1)
+        assert page.owner == 1
+
+    def test_migrate_to_current_owner_is_cheap(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 1, LatencyCategory.PAGE_MIGRATION)
+        assert engine.migrate(page, 1) == 0
+
+    def test_migrate_drops_replicas(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        page.replicas.add(1)
+        machine.gpus[1].dram.install(0)
+        engine.migrate(page, 2)
+        assert page.replicas == set()
+        assert 0 not in machine.gpus[1].dram
+
+    def test_migration_resets_access_counters(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        machine.access_counters.record_remote_access(1, 0)
+        engine.migrate(page, 1)
+        assert machine.access_counters.count(1, 0) == 0
+
+    def test_acud_scale_reduces_cost(self, machine, engine):
+        page_a = machine.central_pt.get(0)
+        page_b = machine.central_pt.get(1)
+        engine.place_from_host(page_a, 0, LatencyCategory.PAGE_MIGRATION)
+        engine.place_from_host(page_b, 0, LatencyCategory.PAGE_MIGRATION)
+        full = engine.migrate(page_a, 1, flush_scale=1.0)
+        discounted = engine.migrate(page_b, 1, flush_scale=0.3)
+        assert discounted < full
+
+
+class TestEviction:
+    def make_full(self, machine, engine, gpu: int):
+        """Fill the GPU's DRAM (capacity = 70% * 12 / 3 = 2 frames)."""
+        for vpn in range(machine.gpus[gpu].dram.capacity):
+            page = machine.central_pt.get(vpn)
+            engine.place_from_host(page, gpu, LatencyCategory.PAGE_MIGRATION)
+
+    def test_owner_eviction_returns_page_to_host(self, machine, engine):
+        self.make_full(machine, engine, 0)
+        overflow = machine.central_pt.get(10)
+        engine.place_from_host(overflow, 0, LatencyCategory.PAGE_MIGRATION)
+        victim = machine.central_pt.get(0)
+        assert victim.owner == HOST_NODE
+        assert machine.gpus[0].page_table.lookup(0) is None
+        assert machine.counters.evictions >= 1
+
+    def test_replica_eviction_promotes_survivor(self, machine, engine):
+        page = machine.central_pt.get(0)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        page.replicas.add(1)
+        machine.gpus[1].dram.install(0)
+        machine.gpus[1].page_table.map(0, 1, writable=False)
+        # Fill GPU 0 to evict its owned copy of page 0.
+        for vpn in range(1, 1 + machine.gpus[0].dram.capacity):
+            engine.place_from_host(
+                machine.central_pt.get(vpn), 0, LatencyCategory.PAGE_MIGRATION
+            )
+        assert page.owner == 1
+        assert page.replicas == set()
+        assert machine.gpus[1].page_table.lookup(0).writable
+
+    def test_replica_eviction_releases_only_replica(self, machine, engine):
+        page = machine.central_pt.get(11)
+        engine.place_from_host(page, 0, LatencyCategory.PAGE_MIGRATION)
+        page.replicas.add(1)
+        machine.gpus[1].dram.install(11)
+        machine.gpus[1].page_table.map(11, 1, writable=False)
+        # Fill GPU 1's frames to evict its replica.
+        for vpn in range(machine.gpus[1].dram.capacity):
+            engine.place_from_host(
+                machine.central_pt.get(vpn), 1, LatencyCategory.PAGE_MIGRATION
+            )
+        assert page.owner == 0
+        assert 1 not in page.replicas
+        # Sole owner's mapping became writable again.
+        assert machine.gpus[0].page_table.lookup(11).writable

@@ -1,0 +1,79 @@
+"""WorkloadTrace validation and helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.base import (
+    WorkloadTrace,
+    empty_stream,
+    merge_phase_streams,
+)
+from tests.conftest import build_trace
+
+
+class TestValidation:
+    def test_stream_count_must_match_gpus(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace(
+                name="bad",
+                num_gpus=2,
+                footprint_pages=4,
+                streams=[empty_stream()],
+            )
+
+    def test_arrays_must_agree_in_length(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace(
+                name="bad",
+                num_gpus=1,
+                footprint_pages=4,
+                streams=[(np.array([1, 2]), np.array([True]))],
+            )
+
+    def test_vpns_must_fit_footprint(self):
+        with pytest.raises(TraceError):
+            build_trace([[(100, False)]], footprint_pages=10)
+
+    def test_negative_vpns_rejected(self):
+        with pytest.raises(TraceError):
+            build_trace([[(-1, False)]], footprint_pages=10)
+
+    def test_zero_footprint_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace(
+                name="bad",
+                num_gpus=1,
+                footprint_pages=0,
+                streams=[empty_stream()],
+            )
+
+
+class TestHelpers:
+    def test_total_accesses(self, two_gpu_trace):
+        assert two_gpu_trace.total_accesses == 8
+
+    def test_iter_all_yields_every_access(self, two_gpu_trace):
+        accesses = list(two_gpu_trace.iter_all())
+        assert len(accesses) == 8
+        assert accesses[0] == (0, 0, False)
+        gpus = {gpu for gpu, _, _ in accesses}
+        assert gpus == {0, 1}
+
+    def test_merge_phase_streams_concatenates_per_gpu(self):
+        phase1 = [
+            (np.array([1]), np.array([False])),
+            (np.array([2]), np.array([True])),
+        ]
+        phase2 = [
+            (np.array([3]), np.array([True])),
+            (np.array([4]), np.array([False])),
+        ]
+        merged = merge_phase_streams([phase1, phase2])
+        assert merged[0][0].tolist() == [1, 3]
+        assert merged[1][0].tolist() == [2, 4]
+        assert merged[0][1].tolist() == [False, True]
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(TraceError):
+            merge_phase_streams([])

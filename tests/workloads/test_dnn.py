@@ -1,0 +1,109 @@
+"""DNN model-parallel trace generators (Section VI-F)."""
+
+import pytest
+
+from repro.analysis import sharing_summary
+from repro.errors import TraceError
+from repro.workloads.dnn import (
+    RESNET18_LAYERS,
+    VGG16_LAYERS,
+    _assign_layers,
+    generate_dnn,
+)
+
+
+class TestLayerAssignment:
+    def test_consecutive_layers_assigned_in_order(self):
+        assignment = _assign_layers(VGG16_LAYERS, 4)
+        assert assignment == sorted(assignment)
+        assert assignment[0] == 0
+        assert max(assignment) <= 3
+
+    def test_single_gpu_gets_everything(self):
+        assert set(_assign_layers(VGG16_LAYERS, 1)) == {0}
+
+    def test_all_gpus_used_when_possible(self):
+        assignment = _assign_layers(RESNET18_LAYERS, 3)
+        assert len(set(assignment)) == 3
+
+
+class TestDnnTraces:
+    @pytest.mark.parametrize("model", ["vgg16", "resnet18"])
+    def test_valid_trace(self, model):
+        trace = generate_dnn(model, num_gpus=4, scale=0.1)
+        assert trace.total_accesses > 0
+        assert trace.metadata["iterations"] >= 1
+        assert len(trace.metadata["layers"]) in (6,)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(TraceError):
+            generate_dnn("alexnet")
+
+    def test_pipeline_creates_pc_sharing(self):
+        trace = generate_dnn("vgg16", num_gpus=4, scale=0.1)
+        summary = sharing_summary(trace)
+        # Activations/gradients at layer boundaries are shared; weights
+        # are private — both classes must exist.
+        assert 0.02 < summary.shared_page_fraction < 0.9
+
+    def test_training_reads_dominate_writes(self):
+        trace = generate_dnn("resnet18", num_gpus=4, scale=0.1)
+        reads = sum(int((~w).sum()) for _, w in trace.streams)
+        writes = sum(int(w.sum()) for _, w in trace.streams)
+        assert reads > writes
+
+
+class TestDataParallel:
+    def test_valid_trace(self):
+        trace = generate_dnn("vgg16", num_gpus=4, scale=0.1, parallelism="data")
+        assert trace.name == "vgg16_dp"
+        assert trace.metadata["parallelism"] == "data"
+        assert trace.total_accesses > 0
+
+    def test_gradients_are_all_shared_read_write(self):
+        trace = generate_dnn(
+            "resnet18", num_gpus=4, scale=0.1, parallelism="data"
+        )
+        from repro.stats.sharing import PageAccessLedger
+
+        ledger = PageAccessLedger()
+        for gpu, vpn, is_write in trace.iter_all():
+            ledger.record(gpu, vpn, is_write)
+        grad_pages = trace.metadata["gradient_pages"]
+        grad_base = trace.footprint_pages - grad_pages
+        entry = ledger.entry(grad_base)
+        assert entry is not None
+        assert entry.num_touchers == 4
+        assert entry.is_read_write
+
+    def test_weights_stay_private(self):
+        trace = generate_dnn(
+            "vgg16", num_gpus=2, scale=0.1, parallelism="data"
+        )
+        from repro.stats.sharing import PageAccessLedger
+
+        ledger = PageAccessLedger()
+        for gpu, vpn, is_write in trace.iter_all():
+            ledger.record(gpu, vpn, is_write)
+        assert not ledger.entry(0).is_shared  # GPU 0's weight replica
+
+    def test_grit_handles_allreduce_pages(self):
+        from repro.config import SystemConfig
+        from repro.policies import make_policy
+        from repro.sim import simulate
+
+        trace = generate_dnn(
+            "vgg16", num_gpus=2, scale=0.1, parallelism="data"
+        )
+        config = SystemConfig(num_gpus=2)
+        base = simulate(
+            config,
+            generate_dnn("vgg16", num_gpus=2, scale=0.1, parallelism="data"),
+            make_policy("on_touch"),
+        )
+        grit = simulate(config, trace, make_policy("grit"))
+        assert grit.total_cycles < base.total_cycles
+
+    def test_unknown_parallelism_rejected(self):
+        with pytest.raises(TraceError):
+            generate_dnn("vgg16", parallelism="pipeline")

@@ -1,0 +1,131 @@
+"""Access-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import patterns
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSweep:
+    def test_page_burst_structure(self):
+        vpns, writes = patterns.sweep(np.arange(3), 4, write_ratio=0.0)
+        assert vpns.tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+        assert not writes.any()
+
+    def test_deterministic_write_tail_without_rng(self):
+        _, writes = patterns.sweep(np.arange(2), 4, write_ratio=0.5)
+        assert writes.tolist() == [False, False, True, True] * 2
+
+    def test_random_write_placement_with_rng(self, rng):
+        _, writes = patterns.sweep(np.arange(100), 10, 0.5, rng=rng)
+        assert 0.4 < writes.mean() < 0.6
+        # Not all bursts start with a read.
+        first_of_burst = writes[::10]
+        assert first_of_burst.any()
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            patterns.sweep(np.arange(2), 0, 0.0)
+        with pytest.raises(ValueError):
+            patterns.sweep(np.arange(2), 1, 1.5)
+
+
+class TestRandomAccesses:
+    def test_accesses_stay_in_page_set(self, rng):
+        pages = np.arange(50, 60)
+        vpns, _ = patterns.random_accesses(pages, 200, 0.0, rng)
+        assert set(vpns.tolist()) <= set(range(50, 60))
+        assert len(vpns) == 200
+
+    def test_bursts_repeat_pages(self, rng):
+        vpns, _ = patterns.random_accesses(
+            np.arange(100), 40, 0.0, rng, burst_length=4
+        )
+        reshaped = vpns.reshape(-1, 4)
+        assert (reshaped == reshaped[:, :1]).all()
+
+    def test_hot_skew(self, rng):
+        pages = np.arange(100)
+        vpns, _ = patterns.random_accesses(
+            pages, 4000, 0.0, rng, hot_fraction=0.1, hot_weight=0.9
+        )
+        hot_hits = (vpns < 10).mean()
+        assert hot_hits > 0.7
+
+    def test_write_ratio(self, rng):
+        _, writes = patterns.random_accesses(np.arange(10), 2000, 0.3, rng)
+        assert 0.25 < writes.mean() < 0.35
+
+    def test_empty_inputs(self, rng):
+        vpns, writes = patterns.random_accesses(np.arange(0), 10, 0.0, rng)
+        assert len(vpns) == 0
+        vpns, writes = patterns.random_accesses(np.arange(5), 0, 0.0, rng)
+        assert len(vpns) == 0
+
+    def test_rejects_bad_arguments(self, rng):
+        with pytest.raises(ValueError):
+            patterns.random_accesses(np.arange(5), -1, 0.0, rng)
+        with pytest.raises(ValueError):
+            patterns.random_accesses(np.arange(5), 10, 0.0, rng, burst_length=0)
+
+
+class TestStridedPartner:
+    def test_pairs_are_xor_partners(self, rng):
+        vpns, _ = patterns.strided_partner_accesses(
+            base=0, num_pages=64, stride=8, count=100, write_ratio=0.5, rng=rng
+        )
+        starts = vpns[0::2]
+        partners = vpns[1::2]
+        assert ((starts ^ 8) % 64 == partners).all()
+
+    def test_base_offset_applied(self, rng):
+        vpns, _ = patterns.strided_partner_accesses(
+            base=1000, num_pages=16, stride=2, count=50, write_ratio=0.0, rng=rng
+        )
+        assert (vpns >= 1000).all()
+        assert (vpns < 1016).all()
+
+    def test_rejects_bad_stride(self, rng):
+        with pytest.raises(ValueError):
+            patterns.strided_partner_accesses(0, 16, 0, 10, 0.0, rng)
+
+
+class TestInterleaveAndConcat:
+    def test_interleave_preserves_per_stream_order(self, rng):
+        a = (np.array([1, 2, 3]), np.array([False, False, False]))
+        b = (np.array([10, 20]), np.array([True, True]))
+        vpns, writes = patterns.interleave([a, b], rng)
+        assert len(vpns) == 5
+        a_positions = [i for i, v in enumerate(vpns) if v in (1, 2, 3)]
+        assert [vpns[i] for i in a_positions] == [1, 2, 3]
+
+    def test_interleave_single_stream_passthrough(self, rng):
+        a = (np.array([1, 2]), np.array([False, True]))
+        vpns, writes = patterns.interleave([a], rng)
+        assert vpns.tolist() == [1, 2]
+
+    def test_interleave_empty(self, rng):
+        vpns, _ = patterns.interleave([], rng)
+        assert len(vpns) == 0
+
+    def test_concat_back_to_back(self):
+        a = (np.array([1]), np.array([False]))
+        b = (np.array([2]), np.array([True]))
+        vpns, writes = patterns.concat([a, b])
+        assert vpns.tolist() == [1, 2]
+        assert writes.tolist() == [False, True]
+
+
+class TestRegionHelpers:
+    def test_page_range(self):
+        assert patterns.page_range(5, 3).tolist() == [5, 6, 7]
+
+    def test_split_region_covers_exactly(self):
+        chunks = patterns.split_region(10, 10, 3)
+        flat = np.concatenate(chunks)
+        assert flat.tolist() == list(range(10, 20))

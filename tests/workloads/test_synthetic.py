@@ -1,0 +1,101 @@
+"""Parameterized synthetic workloads."""
+
+import pytest
+
+from repro.analysis import sharing_summary
+from repro.config import SystemConfig
+from repro.errors import TraceError
+from repro.policies import make_policy
+from repro.sim import simulate
+from repro.workloads import synthetic
+
+
+class TestUniformRandom:
+    def test_basic_shape(self):
+        trace = synthetic.uniform_random(num_gpus=2, pages=64, accesses_per_gpu=200)
+        assert trace.num_gpus == 2
+        assert trace.footprint_pages == 64
+        assert trace.total_accesses >= 200
+
+    def test_write_ratio_zero_means_read_shared(self):
+        trace = synthetic.uniform_random(write_ratio=0.0, pages=64)
+        summary = sharing_summary(trace)
+        assert summary.read_write_page_fraction == 0.0
+        assert summary.shared_page_fraction > 0.9
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(TraceError):
+            synthetic.uniform_random(pages=0)
+
+    def test_read_shared_favors_duplication(self):
+        trace = synthetic.uniform_random(
+            num_gpus=2, pages=64, accesses_per_gpu=2000, write_ratio=0.0
+        )
+        config = SystemConfig(num_gpus=2)
+        dup = simulate(config, trace, make_policy("duplication"))
+        ot = simulate(config, trace, make_policy("on_touch"))
+        assert dup.total_cycles < ot.total_cycles
+
+
+class TestHotCold:
+    def test_hot_pages_dominate_accesses(self):
+        trace = synthetic.hot_cold(
+            pages=200, hot_fraction=0.05, hot_weight=0.9
+        )
+        vpns = trace.streams[0][0]
+        hot_limit = int(200 * 0.05)
+        assert (vpns < hot_limit).mean() > 0.7
+
+    def test_grit_separates_hot_from_cold(self):
+        trace = synthetic.hot_cold(
+            num_gpus=2, pages=128, accesses_per_gpu=3000, write_ratio=0.0
+        )
+        config = SystemConfig(num_gpus=2)
+        grit = simulate(config, trace, make_policy("grit"))
+        ot = simulate(config, trace, make_policy("on_touch"))
+        assert grit.total_cycles < ot.total_cycles
+
+
+class TestProducerConsumer:
+    def test_needs_two_gpus(self):
+        with pytest.raises(TraceError):
+            synthetic.producer_consumer(num_gpus=1)
+
+    def test_buffers_are_pc_shared(self):
+        trace = synthetic.producer_consumer(
+            num_gpus=3, buffer_pages=8, handoffs=3
+        )
+        summary = sharing_summary(trace)
+        # Downstream GPUs read upstream buffers: sharing exists but is
+        # pairwise, not global.
+        assert 0.0 < summary.shared_page_fraction < 1.0
+
+    def test_rewrites_force_collapses_under_duplication(self):
+        trace = synthetic.producer_consumer(
+            num_gpus=2, buffer_pages=8, handoffs=4, rewrite_rounds=1
+        )
+        config = SystemConfig(num_gpus=2)
+        dup = simulate(config, trace, make_policy("duplication"))
+        assert dup.counters.write_collapses > 0
+
+
+class TestHaloExchange:
+    def test_boundary_fraction_bounds(self):
+        with pytest.raises(TraceError):
+            synthetic.halo_exchange(boundary_fraction=0.0)
+
+    def test_wider_boundary_means_more_sharing(self):
+        narrow = sharing_summary(
+            synthetic.halo_exchange(boundary_fraction=0.1)
+        )
+        wide = sharing_summary(
+            synthetic.halo_exchange(boundary_fraction=0.9)
+        )
+        assert wide.shared_page_fraction > narrow.shared_page_fraction
+
+    def test_simulates_under_every_scheme(self):
+        trace = synthetic.halo_exchange(num_gpus=2, chunk_pages=32)
+        config = SystemConfig(num_gpus=2)
+        for policy in ("on_touch", "access_counter", "duplication", "grit"):
+            result = simulate(config, trace, make_policy(policy))
+            assert result.counters.accesses == trace.total_accesses

@@ -1,0 +1,84 @@
+"""Trace persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import make_workload
+from repro.workloads.trace_io import load_trace, save_trace
+from tests.conftest import build_trace
+
+
+class TestRoundTrip:
+    def test_generated_workload_round_trips(self, tmp_path):
+        trace = make_workload("gemm", scale=0.1)
+        path = tmp_path / "gemm.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.num_gpus == trace.num_gpus
+        assert loaded.footprint_pages == trace.footprint_pages
+        for (va, wa), (vb, wb) in zip(trace.streams, loaded.streams):
+            assert (va == vb).all()
+            assert (wa == wb).all()
+
+    def test_spec_preserved(self, tmp_path):
+        trace = make_workload("bfs", scale=0.1)
+        path = tmp_path / "bfs.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.spec.suite == "SHOC"
+        assert loaded.spec.access_pattern == "Random"
+
+    def test_metadata_preserved(self, tmp_path):
+        trace = make_workload("st", scale=0.1)
+        path = tmp_path / "st.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.metadata["iterations"] == trace.metadata["iterations"]
+
+    def test_manual_trace_without_spec(self, tmp_path):
+        trace = build_trace([[(0, False)], [(1, True)]], footprint_pages=4)
+        path = tmp_path / "manual.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.spec is None
+        assert loaded.total_accesses == 2
+
+    def test_empty_stream_round_trips(self, tmp_path):
+        trace = build_trace([[(0, False)], []], footprint_pages=4)
+        path = tmp_path / "empty.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.streams[1][0]) == 0
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        from repro import make_policy, simulate
+        from repro.config import SystemConfig
+
+        trace = make_workload("fir", scale=0.1)
+        path = tmp_path / "fir.npz"
+        save_trace(trace, path)
+        result = simulate(
+            SystemConfig(), load_trace(path), make_policy("grit")
+        )
+        assert result.counters.accesses == trace.total_accesses
+
+
+class TestErrors:
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.npz"
+        meta = np.frombuffer(
+            json.dumps({"version": 99}).encode(), dtype=np.uint8
+        )
+        np.savez(path, meta_json=meta)
+        with pytest.raises(TraceError):
+            load_trace(path)
