@@ -16,11 +16,18 @@ Quickstart::
 
     trace = repro.make_workload("gemm", num_gpus=4)
     base = simulate(BASELINE_CONFIG, trace, make_policy("on_touch"))
-    grit = simulate(BASELINE_CONFIG, make_workload("gemm"), make_policy("grit"))
+    grit = simulate(
+        BASELINE_CONFIG, make_workload("gemm"), make_policy("grit")
+    )
     print(f"GRIT speedup: {grit.speedup_over(base):.2f}x")
 """
 
-from repro.config import BASELINE_CONFIG, GritConfig, LatencyModel, SystemConfig
+from repro.config import (
+    BASELINE_CONFIG,
+    GritConfig,
+    LatencyModel,
+    SystemConfig,
+)
 from repro.constants import GroupBits, Scheme
 from repro.policies import available_policies, make_policy
 from repro.sim import SimulationResult, simulate

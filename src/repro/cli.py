@@ -12,6 +12,7 @@ Commands:
   charts).
 * ``characterize`` — print a workload's sharing/RW characterization.
 * ``dump-trace`` — export a generated trace as ``.npz``.
+* ``lint`` — run the simlint static-analysis pass over the simulator.
 """
 
 from __future__ import annotations
@@ -125,6 +126,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default="speedup",
     )
 
+    lint = sub.add_parser(
+        "lint", help="run the simlint static-analysis rules"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files to lint (default: the whole repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="findings as a text report or a JSON document",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
     return parser
 
 
@@ -222,7 +243,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     workloads = (
         list(PAPER_APPS)
         if args.workloads == "all"
-        else [name.strip() for name in args.workloads.split(",") if name.strip()]
+        else [
+            name.strip()
+            for name in args.workloads.split(",")
+            if name.strip()
+        ]
     )
     policies = [
         name.strip() for name in args.policies.split(",") if name.strip()
@@ -239,7 +264,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warm_runner_parallel(runner, keys, workers=args.workers)
     rows = {}
     for workload in workloads:
-        base = runner.run(runner.key(workload, args.baseline, num_gpus=args.gpus))
+        base = runner.run(
+            runner.key(workload, args.baseline, num_gpus=args.gpus)
+        )
         cells = []
         for policy in policies:
             result = runner.run(
@@ -252,8 +279,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             else:
                 cells.append(result.counters.total_faults)
         rows[workload] = cells
-    print(format_table(policies, rows, row_header=f"{args.metric} @{args.gpus}g"))
+    print(
+        format_table(
+            policies, rows, row_header=f"{args.metric} @{args.gpus}g"
+        )
+    )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import LintEngine, make_rules
+    from repro.lint.findings import exit_code
+    from repro.lint.report import render_json, render_text
+
+    if args.list_rules:
+        for rule in make_rules():
+            print(f"{rule.rule_id}  [{rule.severity.name.lower():7s}] "
+                  f"{rule.description}")
+        return 0
+    package_root = Path(__file__).resolve().parent
+    repo_root = package_root.parent.parent
+    engine = LintEngine(package_root, repo_root=repo_root)
+    paths = [Path(p) for p in args.paths] or None
+    findings = engine.run(paths=paths)
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return exit_code(findings)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -273,6 +328,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_dump_trace(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

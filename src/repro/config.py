@@ -243,6 +243,10 @@ class SystemConfig:
     #: Cycles between successive memory operations of one GPU stream;
     #: stands in for the compute between memory instructions.
     issue_gap: int = 4
+    #: Validate UVM machine-state invariants after every driver
+    #: operation (see repro.uvm.sanitizer).  Slow; debugging only.  The
+    #: ``GRIT_SANITIZE=1`` environment variable enables it globally.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:

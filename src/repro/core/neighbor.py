@@ -78,7 +78,8 @@ class NeighboringAwarePredictor:
 
     def containing_group(self, vpn: int) -> tuple[int, GroupBits]:
         """Base VPN and size of the group currently containing ``vpn``."""
-        for bits in (GroupBits.GROUP_512, GroupBits.GROUP_64, GroupBits.GROUP_8):
+        ladder = (GroupBits.GROUP_512, GroupBits.GROUP_64, GroupBits.GROUP_8)
+        for bits in ladder:
             pages = bits.page_count
             if pages > self.max_group_pages:
                 continue

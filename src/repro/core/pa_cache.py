@@ -19,7 +19,9 @@ from repro.errors import ConfigError
 class PACache:
     """Set-associative write-back cache over :class:`PATable`."""
 
-    def __init__(self, backing: PATable, entries: int = 64, ways: int = 4) -> None:
+    def __init__(
+        self, backing: PATable, entries: int = 64, ways: int = 4
+    ) -> None:
         if entries <= 0 or ways <= 0 or entries % ways:
             raise ConfigError("PA-Cache entries must be a multiple of ways")
         sets = entries // ways

@@ -19,6 +19,10 @@ class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
 
 
+class SanitizerError(SimulationError):
+    """The machine-state sanitizer found a broken UVM invariant."""
+
+
 class PolicyError(ReproError):
     """A placement policy was misused or produced an invalid decision."""
 

@@ -126,7 +126,9 @@ class ExperimentRunner:
         """Build a key with this runner's default scale."""
         params: dict[str, object] = {"scale": self.scale}
         params.update(overrides)
-        return RunKey(workload=workload, policy=policy, **params)  # type: ignore[arg-type]
+        return RunKey(  # type: ignore[arg-type]
+            workload=workload, policy=policy, **params
+        )
 
     def speedup(
         self, workload: str, policy: str, baseline: str, **overrides: object

@@ -19,7 +19,11 @@ from repro.analysis import (
     page_interval_profile,
     sharing_summary,
 )
-from repro.harness.experiment import PAPER_APPS, ExperimentRunner, geometric_mean
+from repro.harness.experiment import (
+    PAPER_APPS,
+    ExperimentRunner,
+    geometric_mean,
+)
 from repro.workloads import make_workload
 
 #: Uniform schemes in the paper's figure order.
@@ -164,7 +168,9 @@ def fig05(runner: ExperimentRunner) -> FigureData:
         rows[app] = [
             len(classes["pc_shared"]),
             len(classes["all_shared"]),
-            (len(classes["pc_shared"]) / total_shared) if total_shared else 0.0,
+            (len(classes["pc_shared"]) / total_shared)
+            if total_shared
+            else 0.0,
         ]
     return FigureData(
         name="fig05",
@@ -358,9 +364,18 @@ def fig19(runner: ExperimentRunner) -> FigureData:
 def fig20(runner: ExperimentRunner) -> FigureData:
     """Figure 20: component ablation (PA-Table / +PA-Cache / +NAP)."""
     variants = [
-        ("pa_table_only", dict(use_pa_cache=False, use_neighbor_prediction=False)),
-        ("pa_table_pa_cache", dict(use_pa_cache=True, use_neighbor_prediction=False)),
-        ("pa_table_nap", dict(use_pa_cache=False, use_neighbor_prediction=True)),
+        (
+            "pa_table_only",
+            dict(use_pa_cache=False, use_neighbor_prediction=False),
+        ),
+        (
+            "pa_table_pa_cache",
+            dict(use_pa_cache=True, use_neighbor_prediction=False),
+        ),
+        (
+            "pa_table_nap",
+            dict(use_pa_cache=False, use_neighbor_prediction=True),
+        ),
         ("full_grit", dict()),
     ]
     rows: Dict[str, List[object]] = {}

@@ -1,0 +1,11 @@
+"""The simlint rule catalog.
+
+Importing this package registers every bundled rule with the engine's
+registry (each rule module applies the :func:`repro.lint.engine.rule`
+decorator at import time).  Add new rule modules to the import list
+below; see docs/static_analysis.md for the recipe.
+"""
+
+from repro.lint.rules import consistency, determinism, hygiene
+
+__all__ = ["consistency", "determinism", "hygiene"]

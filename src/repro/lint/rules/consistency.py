@@ -1,0 +1,169 @@
+"""Cross-module consistency rules over the project symbol table.
+
+These encode repo-specific wiring contracts that no generic linter
+knows: every policy module must be reachable from the registry (or the
+CLI silently cannot build it), every :class:`EventKind` member must be
+emitted somewhere (or the event log silently under-reports), every
+latency charge must name a :class:`LatencyCategory` member (or Figure 3
+accounting silently misattributes), and every CLI subcommand must be
+documented.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileRule, ProjectRule, rule
+from repro.lint.findings import Finding
+from repro.lint.symbols import ModuleInfo, SymbolTable
+
+#: Policy modules that are infrastructure, not registrable policies.
+_POLICY_INFRA = frozenset({"__init__.py", "base.py", "registry.py"})
+
+_POLICIES_DIR = "policies/"
+_REGISTRY_PATH = "policies/registry.py"
+_EVENTS_PATH = "stats/events.py"
+_CLI_PATH = "cli.py"
+
+
+@rule
+class PolicyRegistryRule(ProjectRule):
+    """Every policy module is reachable from the policy registry."""
+
+    rule_id = "GRIT-C001"
+    description = (
+        "every module in policies/ must be imported by "
+        "policies/registry.py so its policies are constructible by name"
+    )
+    hint = "import it in policies/registry.py and add a _FACTORIES entry"
+
+    def check_project(self, symbols: SymbolTable) -> Iterator[Finding]:
+        if symbols.module(_REGISTRY_PATH) is None:
+            return
+        imported = symbols.imported_modules(_REGISTRY_PATH)
+        for info in symbols.modules_under(_POLICIES_DIR):
+            name = info.relpath[len(_POLICIES_DIR):]
+            if "/" in name or name in _POLICY_INFRA:
+                continue
+            module_name = f"repro.policies.{name[:-3]}"
+            if module_name not in imported:
+                yield self.finding(
+                    info,
+                    info.tree,
+                    f"policy module {module_name} is not imported by "
+                    f"{_REGISTRY_PATH}",
+                )
+
+
+@rule
+class EventEmissionRule(ProjectRule):
+    """Every EventKind member is emitted (or consumed) somewhere."""
+
+    rule_id = "GRIT-C002"
+    description = (
+        "every EventKind member must be referenced outside stats/"
+        "events.py; an unemitted kind means the event log lies by "
+        "omission"
+    )
+    hint = "emit the event where the machine performs it, or delete it"
+
+    def check_project(self, symbols: SymbolTable) -> Iterator[Finding]:
+        events = symbols.module(_EVENTS_PATH)
+        if events is None:
+            return
+        members = symbols.enum_members(_EVENTS_PATH, "EventKind")
+        if not members:
+            return
+        uses = symbols.attribute_uses("EventKind")
+        for member, line in members:
+            used_elsewhere = any(
+                relpath != _EVENTS_PATH for relpath, _ in uses.get(member, ())
+            )
+            if not used_elsewhere:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=_EVENTS_PATH,
+                    line=line,
+                    message=(
+                        f"EventKind.{member} is never emitted outside "
+                        f"{_EVENTS_PATH}"
+                    ),
+                    hint=self.hint,
+                )
+
+
+@rule
+class LatencyChargeRule(FileRule):
+    """Latency charges must name a LatencyCategory member."""
+
+    rule_id = "GRIT-C003"
+    description = (
+        "the first argument of every .charge(...) call must be a "
+        "LatencyCategory member (or a variable holding one), never a "
+        "literal"
+    )
+    hint = "charge(LatencyCategory.<member>, cycles)"
+
+    def visit_Call(
+        self, node: ast.Call, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "charge":
+            return
+        if not node.args:
+            return
+        category = node.args[0]
+        if isinstance(category, ast.Name):
+            return
+        if isinstance(category, ast.Attribute):
+            return
+        if isinstance(category, ast.Subscript) and (
+            isinstance(category.value, ast.Name)
+            and category.value.id == "LatencyCategory"
+        ):
+            return
+        yield self.finding(
+            module,
+            category,
+            "latency charge with a non-LatencyCategory first argument",
+        )
+
+
+@rule
+class CliDocumentedRule(ProjectRule):
+    """Every CLI subcommand appears in README.md or docs/."""
+
+    rule_id = "GRIT-C004"
+    description = (
+        "every cli.py subcommand (add_parser name) must be mentioned "
+        "in README.md or docs/*.md"
+    )
+    hint = "document the subcommand in README.md or docs/"
+
+    def check_project(self, symbols: SymbolTable) -> Iterator[Finding]:
+        cli = symbols.module(_CLI_PATH)
+        if cli is None or not symbols.docs_text:
+            return
+        for node in ast.walk(cli.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr != "add_parser" or not node.args:
+                continue
+            name_node = node.args[0]
+            if not isinstance(name_node, ast.Constant):
+                continue
+            if not isinstance(name_node.value, str):
+                continue
+            command = name_node.value
+            if command not in symbols.docs_text:
+                yield self.finding(
+                    cli,
+                    node,
+                    f"CLI subcommand {command!r} is not documented in "
+                    f"README.md or docs/",
+                )

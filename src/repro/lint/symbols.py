@@ -1,0 +1,181 @@
+"""Lightweight project symbol table for cross-module lint rules.
+
+The consistency rules need a whole-project view: which modules exist
+under a package directory, what each imports, where enum members are
+defined, and where ``Base.MEMBER`` attribute references appear.  The
+:class:`SymbolTable` scans the package once, parses every module, and
+answers those questions from cached ASTs — no imports are executed.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """One parsed source module."""
+
+    relpath: str
+    path: Path
+    source: str
+    tree: ast.Module
+
+
+def parse_module(path: Path, relpath: str) -> ModuleInfo:
+    """Read and parse one source file (raises SyntaxError on bad code)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleInfo(relpath=relpath, path=path, source=source, tree=tree)
+
+
+class SymbolTable:
+    """Parsed view of every module under one package root."""
+
+    def __init__(
+        self,
+        modules: Dict[str, ModuleInfo],
+        docs_text: str = "",
+        parse_failures: Tuple[Tuple[str, int, str], ...] = (),
+    ) -> None:
+        self.modules = modules
+        #: Concatenated README + docs/*.md text ("" when unavailable).
+        self.docs_text = docs_text
+        #: ``(relpath, line, message)`` for files that failed to parse.
+        self.parse_failures = parse_failures
+        self._attribute_uses: Dict[
+            str, Dict[str, List[Tuple[str, int]]]
+        ] = {}
+
+    @classmethod
+    def scan(
+        cls, package_root: Path, repo_root: Path | None = None
+    ) -> "SymbolTable":
+        """Parse every ``.py`` file under ``package_root``.
+
+        ``repo_root`` locates prose to search (``README.md`` and
+        ``docs/*.md``) for documentation-coverage rules; when None or
+        missing those rules degrade to no-ops.
+        """
+        modules: Dict[str, ModuleInfo] = {}
+        failures: List[Tuple[str, int, str]] = []
+        for path in sorted(package_root.rglob("*.py")):
+            relpath = path.relative_to(package_root).as_posix()
+            try:
+                modules[relpath] = parse_module(path, relpath)
+            except SyntaxError as exc:
+                failures.append((relpath, exc.lineno or 1, str(exc.msg)))
+        docs_text = ""
+        if repo_root is not None:
+            sources = [repo_root / "README.md"]
+            docs_dir = repo_root / "docs"
+            if docs_dir.is_dir():
+                sources.extend(sorted(docs_dir.glob("*.md")))
+            parts = [
+                candidate.read_text(encoding="utf-8")
+                for candidate in sources
+                if candidate.is_file()
+            ]
+            docs_text = "\n".join(parts)
+        return cls(
+            modules,
+            docs_text=docs_text,
+            parse_failures=tuple(failures),
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def module(self, relpath: str) -> ModuleInfo | None:
+        """Fetch one parsed module by package-relative path."""
+        return self.modules.get(relpath)
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        """All parsed modules, in sorted path order."""
+        for relpath in sorted(self.modules):
+            yield self.modules[relpath]
+
+    def modules_under(self, prefix: str) -> List[ModuleInfo]:
+        """Modules whose relative path starts with ``prefix``."""
+        return [
+            info
+            for relpath, info in sorted(self.modules.items())
+            if relpath.startswith(prefix)
+        ]
+
+    def imported_modules(self, relpath: str) -> set[str]:
+        """Absolute module names imported by one module.
+
+        Both ``import a.b`` and ``from a.b import c`` contribute
+        ``a.b``; relative imports are ignored (the project uses absolute
+        imports throughout).
+        """
+        info = self.module(relpath)
+        if info is None:
+            return set()
+        imported: set[str] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    imported.add(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and not node.level:
+                    imported.add(node.module)
+        return imported
+
+    def enum_members(
+        self, relpath: str, class_name: str
+    ) -> List[Tuple[str, int]]:
+        """``(member, line)`` pairs of one enum class definition.
+
+        Members are the class-body assignments whose target is a plain
+        uppercase-style name; dunders and lowercase helpers are skipped.
+        """
+        info = self.module(relpath)
+        if info is None:
+            return []
+        for node in info.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name != class_name:
+                continue
+            members: List[Tuple[str, int]] = []
+            for stmt in node.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not (
+                        target.id.startswith("_")
+                    ):
+                        members.append((target.id, stmt.lineno))
+            return members
+        return []
+
+    def attribute_uses(
+        self, base_name: str
+    ) -> Dict[str, List[Tuple[str, int]]]:
+        """Where ``base_name.<attr>`` appears, per attribute.
+
+        Returns ``{attr: [(relpath, line), ...]}`` across every module.
+        Results are cached per base name.
+        """
+        cached = self._attribute_uses.get(base_name)
+        if cached is not None:
+            return cached
+        uses: Dict[str, List[Tuple[str, int]]] = {}
+        for info in self.iter_modules():
+            for node in ast.walk(info.tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == base_name
+                ):
+                    uses.setdefault(node.attr, []).append(
+                        (info.relpath, node.lineno)
+                    )
+        self._attribute_uses[base_name] = uses
+        return uses

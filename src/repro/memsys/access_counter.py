@@ -9,7 +9,7 @@ migrate (the remote mapping they counted no longer exists).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterator, Tuple
 
 
 class AccessCounterFile:
@@ -56,6 +56,18 @@ class AccessCounterFile:
         if per_gpu is None:
             return 0
         return per_gpu.get(gpu, 0)
+
+    def iter_counts(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield every live counter as ``(group, gpu, count)``.
+
+        Deterministically ordered; used by the machine-state sanitizer
+        to assert no stored count ever reaches the threshold (reaching
+        it must fire a migration and clear the group).
+        """
+        for group in sorted(self._groups):
+            per_gpu = self._groups[group]
+            for gpu in sorted(per_gpu):
+                yield group, gpu, per_gpu[gpu]
 
     def __len__(self) -> int:
         """Number of page groups with at least one live counter."""

@@ -72,6 +72,10 @@ class PlacementPolicy(abc.ABC):
     name: str = "base"
     #: Writes to replicated pages broadcast instead of collapsing (GPS).
     gps_semantics: bool = False
+    #: Replicated pages keep read-only mappings so a write faults and
+    #: collapses.  GPS (store broadcast) and the Ideal bound relax this;
+    #: the machine-state sanitizer keys its replica checks off it.
+    enforces_replica_protection: bool = True
     #: Scale on UVM fault-service latency (Trans-FW forwarding < 1.0).
     fault_service_scale: float = 1.0
     #: Scale on pipeline-flush/invalidation latency (ACUD < 1.0).

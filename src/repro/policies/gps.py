@@ -20,6 +20,8 @@ class GpsPolicy(PlacementPolicy):
 
     name = "gps"
     gps_semantics = True
+    # Subscribers keep writable replicas; stores broadcast, never fault.
+    enforces_replica_protection = False
 
     def initial_scheme(self) -> Scheme:
         """Replicated pages carry duplication scheme bits."""

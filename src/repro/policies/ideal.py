@@ -16,6 +16,8 @@ class IdealPolicy(PlacementPolicy):
     """Upper bound: free replication, free writes."""
 
     name = "ideal"
+    # The bound replicates for free with writable mappings everywhere.
+    enforces_replica_protection = False
 
     def initial_scheme(self) -> Scheme:
         """Scheme bits are irrelevant to the Ideal mechanics."""

@@ -53,7 +53,10 @@ class Engine:
         self.address_space = AddressSpace(config.page_size)
         footprint = max(
             1,
-            -(-trace.footprint_pages // self.address_space.base_pages_per_page),
+            -(
+                -trace.footprint_pages
+                // self.address_space.base_pages_per_page
+            ),
         )
         self.machine = MachineState.build(
             config, footprint, initial_scheme=policy.initial_scheme()

@@ -106,7 +106,9 @@ class PageAccessLedger:
             return part / whole if whole else 0.0
 
         return SharingSummary(
-            private_page_fraction=frac(total_pages - shared_pages, total_pages),
+            private_page_fraction=frac(
+                total_pages - shared_pages, total_pages
+            ),
             shared_page_fraction=frac(shared_pages, total_pages),
             private_access_fraction=frac(
                 total_accesses - shared_accesses, total_accesses

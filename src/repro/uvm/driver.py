@@ -11,6 +11,8 @@ additional mechanics used by the comparator policies.
 
 from __future__ import annotations
 
+import functools
+
 from repro.constants import (
     HOST_NODE,
     FaultKind,
@@ -23,6 +25,17 @@ from repro.policies.base import Mechanic, PlacementPolicy
 from repro.uvm.duplication import DuplicationEngine
 from repro.uvm.machine import MachineState
 from repro.uvm.migration import MigrationEngine
+from repro.uvm.sanitizer import MachineSanitizer, sanitizer_enabled
+
+#: Driver entry points the sanitizer sweeps after (each one is a
+#: complete UVM operation; internals may be transiently inconsistent).
+_SANITIZED_OPERATIONS = (
+    "handle_local_fault",
+    "handle_protection_fault",
+    "on_remote_access",
+    "gps_write",
+    "prefetch_page",
+)
 
 
 class UvmDriver:
@@ -33,7 +46,40 @@ class UvmDriver:
         self.policy = policy
         self.migration = MigrationEngine(machine)
         self.duplication = DuplicationEngine(machine, self.migration)
+        self.sanitizer: MachineSanitizer | None = None
+        if sanitizer_enabled(machine.config):
+            self.sanitizer = MachineSanitizer(
+                machine,
+                allow_writable_replicas=(
+                    not policy.enforces_replica_protection
+                ),
+            )
+            self._install_sanitizer_hooks()
         policy.bind(machine)
+
+    def _install_sanitizer_hooks(self) -> None:
+        """Wrap every public entry point with a post-operation sweep.
+
+        Instance-level wrapping keeps the fast path free of checks when
+        the sanitizer is off (no per-call flag test at all).
+        """
+        for name in _SANITIZED_OPERATIONS:
+            setattr(self, name, self._sanitized(getattr(self, name), name))
+
+    def _sanitized(self, operation, name: str):
+        sanitizer = self.sanitizer
+
+        @functools.wraps(operation)
+        def wrapper(*args, **kwargs):
+            result = operation(*args, **kwargs)
+            described = ", ".join(
+                [*map(repr, args)]
+                + [f"{key}={value!r}" for key, value in kwargs.items()]
+            )
+            sanitizer.check(f"{name}({described})")
+            return result
+
+        return wrapper
 
     # ------------------------------------------------------------------
     # fault entry points

@@ -21,7 +21,9 @@ from repro.uvm.migration import MigrationEngine
 class DuplicationEngine:
     """Replicates pages and collapses replicas on writes."""
 
-    def __init__(self, machine: MachineState, migration: MigrationEngine) -> None:
+    def __init__(
+        self, machine: MachineState, migration: MigrationEngine
+    ) -> None:
         self.machine = machine
         self.migration = migration
 
@@ -63,7 +65,7 @@ class DuplicationEngine:
         page.replicas.add(dest)
         m.gpus[dest].page_table.map(page.vpn, dest, writable=writable_replica)
         if not writable_replica:
-            self._downgrade_owner_mapping(page)
+            self._downgrade_writable_mappings(page)
         m.counters.duplications += 1
         m.breakdown.charge(LatencyCategory.PAGE_DUPLICATION, cycles)
         if m.event_log is not None:
@@ -72,16 +74,22 @@ class DuplicationEngine:
             )
         return cycles
 
-    def _downgrade_owner_mapping(self, page: PageInfo) -> None:
-        """Make the owner's translation read-only so its writes fault."""
+    def _downgrade_writable_mappings(self, page: PageInfo) -> None:
+        """Make every translation of the page read-only so writes fault.
+
+        The owner's local mapping is the common case, but GPUs that
+        mapped the page remotely (to the owner's copy) before it entered
+        duplication hold writable translations too; leaving any of them
+        writable would let a store bypass the protection fault and
+        silently diverge the replicas.
+        """
         m = self.machine
-        if page.owner == HOST_NODE:
-            return
-        owner_pte = m.gpus[page.owner].page_table.lookup(page.vpn)
-        if owner_pte is not None and owner_pte.writable:
-            owner_pte.writable = False
-            # The cached TLB copy may still claim write permission.
-            m.gpus[page.owner].tlbs.invalidate(page.vpn)
+        for gpu in m.gpus:
+            pte = gpu.page_table.lookup(page.vpn)
+            if pte is not None and pte.writable:
+                pte.writable = False
+                # The cached TLB copy may still claim write permission.
+                gpu.tlbs.invalidate(page.vpn)
 
     def collapse_to_writer(
         self,
@@ -102,7 +110,7 @@ class DuplicationEngine:
         writer_has_copy = page.is_local_to(writer)
         # Every other holder drains, flushes, and drops its copy.
         losers = page.holders() - {writer}
-        for loser in losers:
+        for loser in sorted(losers):
             flush = int(latency.pipeline_flush * flush_scale)
             m.gpus[loser].flush_pipeline_and_tlbs()
             m.gpus[loser].clock += flush
@@ -152,7 +160,7 @@ class DuplicationEngine:
         m = self.machine
         latency = m.config.latency
         cycles = 0
-        for replica in tuple(page.replicas):
+        for replica in sorted(page.replicas):
             m.gpus[replica].invalidate_translation(page.vpn)
             m.gpus[replica].dram.release(page.vpn)
             cycles += int(latency.invalidation_per_gpu * flush_scale)

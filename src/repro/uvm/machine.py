@@ -70,6 +70,24 @@ class MachineState:
             footprint_pages=footprint_pages,
         )
 
+    def check_invariants(
+        self, allow_writable_replicas: bool = False
+    ) -> List[str]:
+        """Sweep the UVM machine-state invariants; returns violations.
+
+        Convenience wrapper over
+        :class:`repro.uvm.sanitizer.MachineSanitizer` for tests and
+        ad-hoc debugging; the UVM driver runs the same sweep after
+        every operation when ``config.sanitize`` / ``GRIT_SANITIZE=1``
+        is set.
+        """
+        from repro.uvm.sanitizer import MachineSanitizer
+
+        sanitizer = MachineSanitizer(
+            self, allow_writable_replicas=allow_writable_replicas
+        )
+        return sanitizer.violations()
+
     def invalidate_everywhere(self, vpn: int) -> int:
         """Invalidate every GPU's translation for ``vpn``.
 

@@ -40,7 +40,9 @@ class MigrationEngine:
         """
         m = self.machine
         cycles = m.topology.transfer(HOST_NODE, dest, m.config.page_size)
-        cycles += self.install_frame(dest, page.vpn, False, category, flush_scale)
+        cycles += self.install_frame(
+            dest, page.vpn, False, category, flush_scale
+        )
         page.owner = dest
         page.dirty = False
         m.gpus[dest].page_table.map(page.vpn, dest, writable=writable)
@@ -70,7 +72,9 @@ class MigrationEngine:
             return cycles
         if page.owner == dest:
             # Already local; just (re-)establish the mapping.
-            m.gpus[dest].page_table.map(page.vpn, dest, writable=not page.replicas)
+            m.gpus[dest].page_table.map(
+                page.vpn, dest, writable=not page.replicas
+            )
             return 0
         latency = m.config.latency
         old_owner = page.owner
@@ -83,7 +87,7 @@ class MigrationEngine:
         cycles += flush
         # 2. Invalidate every stale translation (remote mappings point at
         # the old owner; replicas are dropped as part of the move).
-        for replica in tuple(page.replicas):
+        for replica in sorted(page.replicas):
             m.gpus[replica].dram.release(page.vpn)
         page.replicas.clear()
         invalidated = m.invalidate_everywhere(page.vpn)

@@ -12,7 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads import patterns
-from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+from repro.workloads.base import (
+    WorkloadSpec,
+    WorkloadTrace,
+    merge_phase_streams,
+)
 
 SPEC = WorkloadSpec(
     name="c2d",
@@ -55,7 +59,9 @@ def generate(
             # Produce this phase's batch (round 1 write).
             streams.append(
                 patterns.sweep(
-                    buffer_region(gpu, phase), accesses_per_page=24, write_ratio=0.9
+                    buffer_region(gpu, phase),
+                    accesses_per_page=24,
+                    write_ratio=0.9,
                 )
             )
             # Re-process the batch the consumer has seen (round 2 write).

@@ -17,7 +17,11 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.workloads import patterns
-from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+from repro.workloads.base import (
+    WorkloadSpec,
+    WorkloadTrace,
+    merge_phase_streams,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -197,7 +201,9 @@ def _generate_data_parallel(
         raise TraceError(f"unknown DNN model {model!r}") from None
     page_scale = max(1.0, 4.0 * scale)
     iterations = 4
-    weight_pages = max(4, int(sum(l.weight_pages for l in layers) * page_scale))
+    weight_pages = max(
+        4, int(sum(l.weight_pages for l in layers) * page_scale)
+    )
     act_pages = max(
         4, int(sum(l.activation_pages for l in layers) * page_scale)
     )
@@ -267,11 +273,15 @@ def _generate_data_parallel(
     )
 
 
-def generate_vgg16(num_gpus: int = 4, scale: float = 1.0, seed: int = 37) -> WorkloadTrace:
+def generate_vgg16(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 37
+) -> WorkloadTrace:
     """Registry entry point for the VGG16 model-parallel trace."""
     return generate_dnn("vgg16", num_gpus=num_gpus, scale=scale, seed=seed)
 
 
-def generate_resnet18(num_gpus: int = 4, scale: float = 1.0, seed: int = 41) -> WorkloadTrace:
+def generate_resnet18(
+    num_gpus: int = 4, scale: float = 1.0, seed: int = 41
+) -> WorkloadTrace:
     """Registry entry point for the ResNet18 model-parallel trace."""
     return generate_dnn("resnet18", num_gpus=num_gpus, scale=scale, seed=seed)

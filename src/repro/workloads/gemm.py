@@ -14,7 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads import patterns
-from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+from repro.workloads.base import (
+    WorkloadSpec,
+    WorkloadTrace,
+    merge_phase_streams,
+)
 
 SPEC = WorkloadSpec(
     name="gemm",
@@ -59,7 +63,10 @@ def generate(
                 hot_weight=hot_reads / (hot_reads + cold_reads),
             )
             own_output = patterns.sweep(
-                output_chunks[gpu], accesses_per_page=16, write_ratio=0.5, rng=rng
+                output_chunks[gpu],
+                accesses_per_page=16,
+                write_ratio=0.5,
+                rng=rng,
             )
             per_gpu.append(
                 patterns.interleave([shared_reads, own_output], rng)

@@ -11,7 +11,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.workloads import patterns
-from repro.workloads.base import WorkloadSpec, WorkloadTrace, merge_phase_streams
+from repro.workloads.base import (
+    WorkloadSpec,
+    WorkloadTrace,
+    merge_phase_streams,
+)
 
 SPEC = WorkloadSpec(
     name="mm",

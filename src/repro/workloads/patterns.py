@@ -115,7 +115,10 @@ def interleave(streams: Sequence[Stream], rng: np.random.Generator) -> Stream:
     if len(streams) == 1:
         return streams[0]
     tags = np.concatenate(
-        [np.full(len(vpns), i, dtype=np.int64) for i, (vpns, _) in enumerate(streams)]
+        [
+            np.full(len(vpns), i, dtype=np.int64)
+            for i, (vpns, _) in enumerate(streams)
+        ]
     )
     rng.shuffle(tags)
     total = len(tags)

@@ -54,7 +54,8 @@ def load_trace(path: str | os.PathLike) -> WorkloadTrace:
     with np.load(path) as archive:
         if "meta_json" not in archive:
             raise TraceError(f"{path}: not a repro trace archive")
-        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode("utf-8"))
+        meta_bytes = bytes(archive["meta_json"].tobytes())
+        meta = json.loads(meta_bytes.decode("utf-8"))
         version = meta.get("version")
         if version != FORMAT_VERSION:
             raise TraceError(

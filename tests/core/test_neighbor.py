@@ -120,7 +120,8 @@ class TestDegradation:
         outcome = predictor.on_scheme_change(
             20, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
         )
-        assert outcome.degradations == 2  # 64 -> 8x8, then affected 8 -> singles
+        # 64 -> 8x8, then the affected 8-group -> singles
+        assert outcome.degradations == 2
         # The affected 8-group (pages 16-23) becomes singles.
         assert pt.get(16).group is GroupBits.SINGLE
         # Other subgroups stay intact 8-groups.

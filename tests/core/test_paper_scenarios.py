@@ -72,7 +72,9 @@ class TestSectionVDDegradation:
 
         # One page inside the third subgroup changes scheme.
         pt.get(20).scheme = Scheme.ACCESS_COUNTER
-        predictor.on_scheme_change(20, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION)
+        predictor.on_scheme_change(
+            20, Scheme.ACCESS_COUNTER, Scheme.DUPLICATION
+        )
 
         # The affected subgroup (pages 16-23) has group bits 00 ...
         assert pt.get(16).group is GroupBits.SINGLE

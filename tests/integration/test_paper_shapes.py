@@ -8,7 +8,11 @@ against; see EXPERIMENTS.md for measured-vs-paper numbers.
 
 import pytest
 
-from repro.harness.experiment import PAPER_APPS, ExperimentRunner, geometric_mean
+from repro.harness.experiment import (
+    PAPER_APPS,
+    ExperimentRunner,
+    geometric_mean,
+)
 
 SCALE = 0.25
 

@@ -30,14 +30,20 @@ def ping_pong_trace(accesses_per_side=2, rounds=12):
 def read_shared_trace(readers=2, reads=40):
     """One page read over and over by every GPU (duplication heaven)."""
     stream = [(0, False)] * reads
-    return build_trace([list(stream) for _ in range(readers)], footprint_pages=8)
+    return build_trace(
+        [list(stream) for _ in range(readers)], footprint_pages=8
+    )
 
 
 def private_trace(pages=4, accesses=30):
     """Disjoint per-GPU pages (on-touch heaven)."""
     return build_trace(
         [
-            [(vpn, vpn % 2 == 0) for vpn in range(pages) for _ in range(accesses)],
+            [
+                (vpn, vpn % 2 == 0)
+                for vpn in range(pages)
+                for _ in range(accesses)
+            ],
             [
                 (vpn, vpn % 2 == 0)
                 for vpn in range(pages, 2 * pages)
@@ -78,7 +84,8 @@ class TestMicroShapes:
     def test_ideal_is_a_lower_bound(self):
         for trace in (ping_pong_trace(), read_shared_trace(), private_trace()):
             ideal = run(trace, "ideal")
-            for policy in ("on_touch", "access_counter", "duplication", "grit"):
+            names = ("on_touch", "access_counter", "duplication", "grit")
+            for policy in names:
                 assert ideal.total_cycles <= run(trace, policy).total_cycles
 
 
@@ -100,7 +107,9 @@ class TestGritAdaptation:
         from repro.sim.engine import Engine
 
         engine = Engine(
-            SystemConfig(num_gpus=2), ping_pong_trace(rounds=20), make_policy("grit")
+            SystemConfig(num_gpus=2),
+            ping_pong_trace(rounds=20),
+            make_policy("grit"),
         )
         engine.run()
         assert engine.machine.central_pt.get(0).scheme is Scheme.ACCESS_COUNTER

@@ -14,7 +14,11 @@ from tests.conftest import build_trace
 class TestBasics:
     def test_trace_gpu_mismatch_rejected(self, two_gpu_trace):
         with pytest.raises(SimulationError):
-            Engine(SystemConfig(num_gpus=4), two_gpu_trace, make_policy("on_touch"))
+            Engine(
+                SystemConfig(num_gpus=4),
+                two_gpu_trace,
+                make_policy("on_touch"),
+            )
 
     def test_all_accesses_processed(self, two_gpu_trace):
         config = SystemConfig(num_gpus=2)

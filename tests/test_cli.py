@@ -47,7 +47,8 @@ class TestCharacterize:
 
 class TestFigureFormats:
     def test_json_output(self, capsys):
-        assert main(["figure", "fig04", "--scale", "0.05", "--format", "json"]) == 0
+        args = ["figure", "fig04", "--scale", "0.05"]
+        assert main([*args, "--format", "json"]) == 0
         import json
 
         data = json.loads(capsys.readouterr().out)
@@ -55,7 +56,8 @@ class TestFigureFormats:
         assert "rows" in data
 
     def test_csv_output(self, capsys):
-        assert main(["figure", "fig04", "--scale", "0.05", "--format", "csv"]) == 0
+        args = ["figure", "fig04", "--scale", "0.05"]
+        assert main([*args, "--format", "csv"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
         assert lines[0].startswith("row,")
         assert len(lines) > 2
@@ -124,3 +126,33 @@ class TestSweep:
             == 0
         )
         assert "faults" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_clean_repo_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_violating_fixture_exits_nonzero(self, tmp_path, capsys):
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(fixture)]) == 1
+        output = capsys.readouterr().out
+        assert "GRIT-H001" in output
+        assert "fixture.py:1" in output
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        fixture = tmp_path / "fixture.py"
+        fixture.write_text("def f(x=[]):\n    return x\n")
+        assert main(["lint", str(fixture), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] >= 1
+        assert data["findings"][0]["rule"] == "GRIT-H001"
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        assert "GRIT-D003" in output
+        assert "GRIT-C001" in output

@@ -58,7 +58,9 @@ class TestLatencyModel:
         assert long > short > latency.nvlink_latency
 
     def test_pcie_slower_than_nvlink(self, latency):
-        assert latency.page_transfer_pcie(4096) > latency.page_transfer_nvlink(4096)
+        assert latency.page_transfer_pcie(4096) > (
+            latency.page_transfer_nvlink(4096)
+        )
 
     def test_mlp_scaling_floors_at_one(self):
         model = LatencyModel(data_access_mlp=1000)

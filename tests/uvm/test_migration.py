@@ -21,7 +21,9 @@ def engine(machine: MachineState) -> MigrationEngine:
 class TestPlacement:
     def test_place_from_host(self, machine, engine):
         page = machine.central_pt.get(0)
-        cycles = engine.place_from_host(page, 1, LatencyCategory.PAGE_MIGRATION)
+        cycles = engine.place_from_host(
+            page, 1, LatencyCategory.PAGE_MIGRATION
+        )
         assert cycles > 0
         assert page.owner == 1
         assert 0 in machine.gpus[1].dram
@@ -37,8 +39,13 @@ class TestPlacement:
 
     def test_placement_charged_to_category(self, machine, engine):
         page = machine.central_pt.get(0)
-        cycles = engine.place_from_host(page, 1, LatencyCategory.PAGE_MIGRATION)
-        assert machine.breakdown.cycles(LatencyCategory.PAGE_MIGRATION) == cycles
+        cycles = engine.place_from_host(
+            page, 1, LatencyCategory.PAGE_MIGRATION
+        )
+        charged = machine.breakdown.cycles(
+            LatencyCategory.PAGE_MIGRATION
+        )
+        assert charged == cycles
 
 
 class TestMigration:

@@ -55,7 +55,9 @@ class TestDnnTraces:
 
 class TestDataParallel:
     def test_valid_trace(self):
-        trace = generate_dnn("vgg16", num_gpus=4, scale=0.1, parallelism="data")
+        trace = generate_dnn(
+            "vgg16", num_gpus=4, scale=0.1, parallelism="data"
+        )
         assert trace.name == "vgg16_dp"
         assert trace.metadata["parallelism"] == "data"
         assert trace.total_accesses > 0

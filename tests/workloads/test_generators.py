@@ -9,7 +9,11 @@ results meaningful.
 import pytest
 
 from repro.analysis import sharing_summary
-from repro.workloads import APPLICATION_TABLE, available_workloads, make_workload
+from repro.workloads import (
+    APPLICATION_TABLE,
+    available_workloads,
+    make_workload,
+)
 from repro.errors import UnknownWorkloadError
 
 APPS = sorted(APPLICATION_TABLE)

@@ -71,7 +71,9 @@ class TestRandomAccesses:
         with pytest.raises(ValueError):
             patterns.random_accesses(np.arange(5), -1, 0.0, rng)
         with pytest.raises(ValueError):
-            patterns.random_accesses(np.arange(5), 10, 0.0, rng, burst_length=0)
+            patterns.random_accesses(
+                np.arange(5), 10, 0.0, rng, burst_length=0
+            )
 
 
 class TestStridedPartner:
@@ -85,7 +87,12 @@ class TestStridedPartner:
 
     def test_base_offset_applied(self, rng):
         vpns, _ = patterns.strided_partner_accesses(
-            base=1000, num_pages=16, stride=2, count=50, write_ratio=0.0, rng=rng
+            base=1000,
+            num_pages=16,
+            stride=2,
+            count=50,
+            write_ratio=0.0,
+            rng=rng,
         )
         assert (vpns >= 1000).all()
         assert (vpns < 1016).all()

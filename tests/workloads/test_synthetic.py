@@ -12,7 +12,9 @@ from repro.workloads import synthetic
 
 class TestUniformRandom:
     def test_basic_shape(self):
-        trace = synthetic.uniform_random(num_gpus=2, pages=64, accesses_per_gpu=200)
+        trace = synthetic.uniform_random(
+            num_gpus=2, pages=64, accesses_per_gpu=200
+        )
         assert trace.num_gpus == 2
         assert trace.footprint_pages == 64
         assert trace.total_accesses >= 200
