@@ -12,6 +12,11 @@ Commands:
   charts).
 * ``characterize`` — print a workload's sharing/RW characterization.
 * ``dump-trace`` — export a generated trace as ``.npz``.
+* ``trace`` — simulate with observability on and export a Chrome
+  trace-event JSON (opens in Perfetto) plus optional metrics.
+* ``inspect`` — reconstruct page lifecycles from the structured event
+  log (``--vpn N`` for one page, otherwise the busiest pages).
+* ``profile`` — wall-time phase profile of the simulator itself.
 * ``lint`` — run the simlint static-analysis pass over the simulator.
 """
 
@@ -46,6 +51,65 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--gpus", type=int, default=4)
     run.add_argument("--scale", type=float, default=0.3)
     run.add_argument("--page-size", type=int, default=4096)
+    _add_observe_arguments(run)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="simulate with observability and export a Perfetto trace",
+    )
+    trace_cmd.add_argument("workload", choices=available_workloads())
+    trace_cmd.add_argument("policy", choices=available_policies())
+    trace_cmd.add_argument("output", help="Chrome trace-event JSON path")
+    trace_cmd.add_argument("--gpus", type=int, default=4)
+    trace_cmd.add_argument("--scale", type=float, default=0.3)
+    trace_cmd.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="also export the sampled metric series to PATH",
+    )
+    trace_cmd.add_argument(
+        "--metrics-format",
+        choices=["jsonl", "csv", "prom"],
+        default="jsonl",
+    )
+    trace_cmd.add_argument(
+        "--sample-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="simulated cycles between metric samples",
+    )
+
+    inspect_cmd = sub.add_parser(
+        "inspect",
+        help="reconstruct page lifecycles from the simulated event log",
+    )
+    inspect_cmd.add_argument("workload", choices=available_workloads())
+    inspect_cmd.add_argument("policy", choices=available_policies())
+    inspect_cmd.add_argument("--gpus", type=int, default=4)
+    inspect_cmd.add_argument("--scale", type=float, default=0.3)
+    inspect_cmd.add_argument(
+        "--vpn",
+        type=int,
+        default=None,
+        help="page to inspect (default: rank the busiest pages)",
+    )
+    inspect_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="pages shown in the busiest-pages ranking",
+    )
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="wall-time phase profile of the simulator itself",
+    )
+    profile_cmd.add_argument("workload", choices=available_workloads())
+    profile_cmd.add_argument("policy", choices=available_policies())
+    profile_cmd.add_argument("--gpus", type=int, default=4)
+    profile_cmd.add_argument("--scale", type=float, default=0.3)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=[*sorted(FIGURES), "all"])
@@ -61,6 +125,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="persist simulation results under DIR and reuse them",
+    )
+    fig.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="export a trace + metrics file per simulated run into DIR",
     )
 
     char = sub.add_parser("characterize", help="trace characterization")
@@ -84,6 +154,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="persist simulation results under DIR and reuse them",
+    )
+    report.add_argument(
+        "--artifacts",
+        metavar="DIR",
+        default=None,
+        help="export a trace + metrics file per simulated run into DIR",
     )
 
     dump = sub.add_parser(
@@ -149,6 +225,33 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_observe_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="export a Chrome trace-event JSON of the run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="export the sampled metric series to PATH",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=["jsonl", "csv", "prom"],
+        default="jsonl",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help="simulated cycles between metric samples",
+    )
+
+
 def _cmd_list() -> int:
     print("workloads:", ", ".join(available_workloads()))
     print("policies: ", ", ".join(available_policies()))
@@ -156,29 +259,189 @@ def _cmd_list() -> int:
     return 0
 
 
+def _observed_simulate(
+    config: SystemConfig,
+    workload: str,
+    policy: str,
+    scale: float,
+    sample_interval: int | None,
+):
+    """Run one observed simulation; returns (result, observation)."""
+    from repro.obs import RunObservation
+    from repro.obs.run import DEFAULT_SAMPLE_INTERVAL
+    from repro.sim.engine import Engine
+
+    trace = make_workload(
+        workload, num_gpus=config.num_gpus, scale=scale
+    )
+    observation = RunObservation(
+        sample_interval=sample_interval or DEFAULT_SAMPLE_INTERVAL
+    )
+    engine = Engine(
+        config, trace, make_policy(policy), observation=observation
+    )
+    return engine.run(), observation
+
+
+def _write_observation_outputs(
+    observation,
+    result,
+    trace_path: str | None,
+    metrics_path: str | None,
+    metrics_format: str,
+) -> None:
+    if trace_path:
+        observation.write_trace(
+            trace_path,
+            metadata={
+                "workload": result.workload,
+                "policy": result.policy,
+            },
+        )
+        print(f"wrote {trace_path}")
+    if metrics_path:
+        observation.write_metrics(metrics_path, metrics_format)
+        print(f"wrote {metrics_path}")
+
+
+def _warn_dropped_events(result) -> None:
+    dropped = result.details.get("dropped_events", 0)
+    if dropped:
+        print(
+            f"warning: event log saturated, {dropped} events dropped "
+            f"(raise EventLog capacity for a complete record)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = SystemConfig(num_gpus=args.gpus, page_size=args.page_size)
-    trace = make_workload(args.workload, num_gpus=args.gpus, scale=args.scale)
-    result = simulate(config, trace, make_policy(args.policy))
+    if args.trace or args.metrics:
+        result, observation = _observed_simulate(
+            config,
+            args.workload,
+            args.policy,
+            args.scale,
+            args.sample_interval,
+        )
+    else:
+        trace = make_workload(
+            args.workload, num_gpus=args.gpus, scale=args.scale
+        )
+        result = simulate(config, trace, make_policy(args.policy))
+        observation = None
     rows = {
         key: [value] for key, value in result.summary().items()
     }
     print(format_table(["value"], rows, row_header="metric"))
+    if observation is not None:
+        _write_observation_outputs(
+            observation,
+            result,
+            args.trace,
+            args.metrics,
+            args.metrics_format,
+        )
+    _warn_dropped_events(result)
     return 0
 
 
-def _build_runner(scale: float, cache_dir: str | None) -> ExperimentRunner:
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace_schema import validate_trace_file
+
+    config = SystemConfig(num_gpus=args.gpus)
+    result, observation = _observed_simulate(
+        config,
+        args.workload,
+        args.policy,
+        args.scale,
+        args.sample_interval,
+    )
+    _write_observation_outputs(
+        observation, result, args.output, args.metrics, args.metrics_format
+    )
+    errors = validate_trace_file(args.output)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    tallies = observation.tracer.span_counts()
+    total = sum(tallies.values())
+    print(f"{total} spans over {result.total_cycles:,} simulated cycles:")
+    for name in sorted(tallies):
+        print(f"  {name:<24s} {tallies[name]:>8d}")
+    if observation.tracer.dropped:
+        print(f"  (dropped past capacity: {observation.tracer.dropped})")
+    _warn_dropped_events(result)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.obs import busiest_pages, render_lifecycle
+    from repro.sim.engine import Engine
+    from repro.stats.events import EventLog
+
+    config = SystemConfig(num_gpus=args.gpus)
+    trace = make_workload(
+        args.workload, num_gpus=args.gpus, scale=args.scale
+    )
+    event_log = EventLog()
+    engine = Engine(
+        config, trace, make_policy(args.policy), event_log=event_log
+    )
+    result = engine.run()
+    if args.vpn is not None:
+        print(render_lifecycle(event_log, args.vpn))
+    else:
+        ranked = busiest_pages(event_log, limit=args.limit)
+        print(
+            f"busiest pages of {args.workload}/{args.policy} "
+            f"({len(event_log)} events logged):"
+        )
+        for vpn, count in ranked:
+            print(f"  vpn {vpn:<10d} {count:>6d} events")
+        print("re-run with --vpn N for a page's full lifecycle")
+    _warn_dropped_events(result)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_run
+
+    profiled = profile_run(
+        args.workload,
+        args.policy,
+        num_gpus=args.gpus,
+        scale=args.scale,
+    )
+    result = profiled.result
+    print(
+        f"{result.workload}/{result.policy}: "
+        f"{result.counters.accesses:,} accesses, "
+        f"{result.total_cycles:,} simulated cycles"
+    )
+    print(profiled.profiler.render())
+    return 0
+
+
+def _build_runner(
+    scale: float,
+    cache_dir: str | None,
+    artifacts_dir: str | None = None,
+) -> ExperimentRunner:
     if cache_dir:
         from repro.harness.cache import DiskCachedRunner
 
-        return DiskCachedRunner(cache_dir, scale=scale)
-    return ExperimentRunner(scale=scale)
+        return DiskCachedRunner(
+            cache_dir, scale=scale, artifacts_dir=artifacts_dir
+        )
+    return ExperimentRunner(scale=scale, artifacts_dir=artifacts_dir)
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.harness.serialize import figure_to_csv, figure_to_json
 
-    runner = _build_runner(args.scale, args.cache)
+    runner = _build_runner(args.scale, args.cache, args.artifacts)
     names = sorted(FIGURES) if args.name == "all" else [args.name]
     for name in names:
         figure = run_figure(name, runner)
@@ -195,7 +458,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.reproduce import generate_report
 
-    runner = _build_runner(args.scale, args.cache)
+    runner = _build_runner(args.scale, args.cache, args.artifacts)
     text = generate_report(
         scale=args.scale, runner=runner, charts_dir=args.charts
     )
@@ -326,6 +589,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "dump-trace":
         return _cmd_dump_trace(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "lint":

@@ -247,6 +247,10 @@ class SystemConfig:
     #: operation (see repro.uvm.sanitizer).  Slow; debugging only.  The
     #: ``GRIT_SANITIZE=1`` environment variable enables it globally.
     sanitize: bool = False
+    #: Record spans, metrics, and events while simulating (see
+    #: repro.obs).  Off by default with zero fast-path cost.  The
+    #: ``GRIT_TRACE=1`` environment variable enables it globally.
+    observe: bool = False
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:

@@ -97,8 +97,13 @@ class DiskCachedRunner(ExperimentRunner):
         cache_dir: str | os.PathLike,
         base_config: SystemConfig | None = None,
         scale: float = 0.3,
+        artifacts_dir: str | None = None,
     ) -> None:
-        super().__init__(base_config=base_config, scale=scale)
+        super().__init__(
+            base_config=base_config,
+            scale=scale,
+            artifacts_dir=artifacts_dir,
+        )
         self.cache_dir = str(cache_dir)
         os.makedirs(self.cache_dir, exist_ok=True)
         self._fingerprint = config_fingerprint(self.base_config)

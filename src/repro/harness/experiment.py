@@ -60,15 +60,22 @@ class RunKey:
 
 
 class ExperimentRunner:
-    """Runs and caches simulations for figure regeneration."""
+    """Runs and caches simulations for figure regeneration.
+
+    With ``artifacts_dir`` set, every simulated run also exports its
+    observability artifacts — a Chrome trace-event JSON and a metrics
+    JSON-lines file per (workload, policy) — under that directory.
+    """
 
     def __init__(
         self,
         base_config: SystemConfig | None = None,
         scale: float = DEFAULT_SCALE,
+        artifacts_dir: str | None = None,
     ) -> None:
         self.base_config = base_config or SystemConfig()
         self.scale = scale
+        self.artifacts_dir = artifacts_dir
         self._cache: Dict[RunKey, SimulationResult] = {}
 
     def run(self, key: RunKey) -> SimulationResult:
@@ -97,9 +104,41 @@ class ExperimentRunner:
         )
         policy = self._build_policy(key)
         prefetcher = TreePrefetcher() if key.prefetch else None
-        result = Engine(config, trace, policy, prefetcher=prefetcher).run()
+        observation = None
+        if self.artifacts_dir is not None:
+            from repro.obs import RunObservation
+
+            observation = RunObservation()
+        engine = Engine(
+            config,
+            trace,
+            policy,
+            prefetcher=prefetcher,
+            observation=observation,
+        )
+        result = engine.run()
+        if observation is not None:
+            self._export_artifacts(key, result, observation)
         self._cache[key] = result
         return result
+
+    def _export_artifacts(self, key: RunKey, result, observation) -> None:
+        import hashlib
+        import os
+
+        assert self.artifacts_dir is not None
+        os.makedirs(self.artifacts_dir, exist_ok=True)
+        # Variant keys (threshold sweeps, ...) share workload/policy
+        # names; a stable digest keeps their artifacts distinct.
+        digest = hashlib.sha1(repr(key).encode()).hexdigest()[:8]
+        stem = f"{key.workload}-{key.policy}-{key.num_gpus}g-{digest}"
+        observation.write_trace(
+            os.path.join(self.artifacts_dir, f"{stem}.trace.json"),
+            metadata={"workload": key.workload, "policy": key.policy},
+        )
+        observation.write_metrics(
+            os.path.join(self.artifacts_dir, f"{stem}.metrics.jsonl")
+        )
 
     def _build_policy(self, key: RunKey) -> PlacementPolicy:
         is_variant = not (
@@ -121,6 +160,18 @@ class ExperimentRunner:
                 )
             )
         return make_policy(key.policy)
+
+    def dropped_event_total(self) -> int:
+        """Events dropped by saturated event logs across cached runs.
+
+        Non-zero only when runs were observed (an event log was
+        attached) and overflowed; the report surfaces it so truncated
+        observability data is never mistaken for a complete record.
+        """
+        return sum(
+            int(result.details.get("dropped_events", 0) or 0)
+            for result in self._cache.values()
+        )
 
     def key(self, workload: str, policy: str, **overrides: object) -> RunKey:
         """Build a key with this runner's default scale."""

@@ -57,6 +57,7 @@ def generate_report(
             chart_path = _maybe_write_chart(figure, charts_dir)
         sections.append(_figure_markdown(figure, chart_path))
     elapsed = time.time() - started
+    dropped = runner.dropped_event_total()
     header = "\n".join(
         [
             "# GRIT reproduction report",
@@ -68,6 +69,14 @@ def generate_report(
             f"- trace scale: {runner.scale}",
             f"- figures: {len(names)}",
             f"- generation time: {elapsed:.0f}s",
+            *(
+                [
+                    f"- **warning:** event logs saturated; {dropped} "
+                    f"events dropped (observability data is truncated)"
+                ]
+                if dropped
+                else []
+            ),
             "",
             "See EXPERIMENTS.md for the paper-vs-measured comparison and "
             "documented deviations.",

@@ -25,6 +25,8 @@ _POLICIES_DIR = "policies/"
 _REGISTRY_PATH = "policies/registry.py"
 _EVENTS_PATH = "stats/events.py"
 _CLI_PATH = "cli.py"
+_CATALOG_PATH = "obs/catalog.py"
+_OBS_DOC = "docs/observability.md"
 
 
 @rule
@@ -129,6 +131,62 @@ class LatencyChargeRule(FileRule):
             category,
             "latency charge with a non-LatencyCategory first argument",
         )
+
+
+@rule
+class MetricCatalogRule(ProjectRule):
+    """Every catalog metric is emitted somewhere and documented."""
+
+    rule_id = "GRIT-C005"
+    description = (
+        "every metric constant in obs/catalog.py must be referenced "
+        "outside the catalog (via catalog.<NAME>) and its series name "
+        "documented in docs/observability.md"
+    )
+    hint = (
+        "feed the metric from the sampler or an event hook, and list "
+        "its name in docs/observability.md"
+    )
+
+    def check_project(self, symbols: SymbolTable) -> Iterator[Finding]:
+        catalog = symbols.module(_CATALOG_PATH)
+        if catalog is None:
+            return
+        uses = symbols.attribute_uses("catalog")
+        obs_doc = symbols.doc_texts.get(_OBS_DOC)
+        for node in catalog.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name) or not target.id.isupper():
+                continue
+            value = node.value
+            if not isinstance(value, ast.Constant) or not isinstance(
+                value.value, str
+            ):
+                continue
+            name = target.id
+            used_elsewhere = any(
+                relpath != _CATALOG_PATH
+                for relpath, _ in uses.get(name, ())
+            )
+            if not used_elsewhere:
+                yield self.finding(
+                    catalog,
+                    node,
+                    f"metric constant {name} is never referenced outside "
+                    f"{_CATALOG_PATH}; the catalog promises a series "
+                    f"nothing emits",
+                )
+            if obs_doc is not None and value.value not in obs_doc:
+                yield self.finding(
+                    catalog,
+                    node,
+                    f"metric {value.value!r} is not documented in "
+                    f"{_OBS_DOC}",
+                )
 
 
 @rule

@@ -39,11 +39,16 @@ class SymbolTable:
         self,
         modules: Dict[str, ModuleInfo],
         docs_text: str = "",
+        doc_texts: Dict[str, str] | None = None,
         parse_failures: Tuple[Tuple[str, int, str], ...] = (),
     ) -> None:
         self.modules = modules
         #: Concatenated README + docs/*.md text ("" when unavailable).
         self.docs_text = docs_text
+        #: Per-file prose, keyed by repo-relative path ("README.md",
+        #: "docs/observability.md", ...) — for rules that require a
+        #: mention in one *specific* document.
+        self.doc_texts: Dict[str, str] = doc_texts or {}
         #: ``(relpath, line, message)`` for files that failed to parse.
         self.parse_failures = parse_failures
         self._attribute_uses: Dict[
@@ -69,20 +74,22 @@ class SymbolTable:
             except SyntaxError as exc:
                 failures.append((relpath, exc.lineno or 1, str(exc.msg)))
         docs_text = ""
+        doc_texts: Dict[str, str] = {}
         if repo_root is not None:
             sources = [repo_root / "README.md"]
             docs_dir = repo_root / "docs"
             if docs_dir.is_dir():
                 sources.extend(sorted(docs_dir.glob("*.md")))
-            parts = [
-                candidate.read_text(encoding="utf-8")
-                for candidate in sources
-                if candidate.is_file()
-            ]
-            docs_text = "\n".join(parts)
+            for candidate in sources:
+                if not candidate.is_file():
+                    continue
+                relpath = candidate.relative_to(repo_root).as_posix()
+                doc_texts[relpath] = candidate.read_text(encoding="utf-8")
+            docs_text = "\n".join(doc_texts.values())
         return cls(
             modules,
             docs_text=docs_text,
+            doc_texts=doc_texts,
             parse_failures=tuple(failures),
         )
 

@@ -1,0 +1,60 @@
+"""Run-scoped observability: tracing, metrics, and inspection.
+
+Three pillars, all off unless enabled via ``SystemConfig(observe=True)``
+or ``GRIT_TRACE=1``:
+
+* :mod:`repro.obs.tracer` — span instrumentation of UVM driver
+  operations on per-GPU tracks, in *simulated* cycles, exported as
+  Chrome trace-event JSON (opens directly in Perfetto);
+* :mod:`repro.obs.metrics` + :mod:`repro.obs.catalog` — a typed
+  counter / gauge / histogram registry sampled per interval and
+  exported as JSON-lines, CSV, or Prometheus text;
+* :mod:`repro.obs.inspect` — page-lifecycle reconstruction from the
+  structured event log (the ``grit-repro inspect`` subcommand).
+
+:mod:`repro.obs.profile` (wall-time phase profiling) is deliberately
+not re-exported here: it reads the wall clock, which the simulation
+core must never do, and it imports the engine — importing it lazily
+keeps this package safe to import from :mod:`repro.sim`.
+"""
+
+from repro.obs.catalog import build_registry
+from repro.obs.inspect import (
+    busiest_pages,
+    page_lifecycle,
+    render_lifecycle,
+    scheme_transitions,
+)
+from repro.obs.metrics import (
+    HistogramData,
+    MetricKind,
+    MetricSpec,
+    MetricsRegistry,
+)
+from repro.obs.run import (
+    OBSERVE_ENV_VAR,
+    RunObservation,
+    observe_enabled,
+)
+from repro.obs.trace_schema import validate_chrome_trace
+from repro.obs.tracer import ENGINE_TRACK, Span, SpanTracer, to_chrome_trace
+
+__all__ = [
+    "ENGINE_TRACK",
+    "HistogramData",
+    "MetricKind",
+    "MetricSpec",
+    "MetricsRegistry",
+    "OBSERVE_ENV_VAR",
+    "RunObservation",
+    "Span",
+    "SpanTracer",
+    "build_registry",
+    "busiest_pages",
+    "observe_enabled",
+    "page_lifecycle",
+    "render_lifecycle",
+    "scheme_transitions",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

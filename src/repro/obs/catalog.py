@@ -1,0 +1,101 @@
+"""The metric catalogue: every series the observability layer emits.
+
+Each metric is a module-level constant naming one registered series.
+Consumers refer to metrics *through these constants* (``catalog.
+UVM_MIGRATIONS``), never through string literals — the simlint rule
+GRIT-C005 checks that every constant here is referenced somewhere
+outside the catalog (an unemitted metric is a lie in the docs) and
+that every metric name is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.obs.metrics import MetricKind, MetricSpec, MetricsRegistry
+
+# -- counters (cumulative totals pulled from EventCounters) ------------
+
+SIM_ACCESSES = "sim.accesses.total"
+UVM_LOCAL_FAULTS = "uvm.faults.local.total"
+UVM_PROTECTION_FAULTS = "uvm.faults.protection.total"
+UVM_MIGRATIONS = "uvm.migrations.total"
+UVM_DUPLICATIONS = "uvm.duplications.total"
+UVM_WRITE_COLLAPSES = "uvm.write_collapses.total"
+UVM_EVICTIONS = "uvm.evictions.total"
+UVM_REMOTE_ACCESSES = "uvm.remote_accesses.total"
+UVM_PREFETCHES = "uvm.prefetches.total"
+GRIT_SCHEME_CHANGES = "grit.scheme_changes.total"
+
+# -- gauges (point-in-time state sampled per interval) -----------------
+
+UVM_FAULT_QUEUE_DEPTH = "uvm.fault.queue_depth"
+PA_CACHE_HIT_RATE = "grit.pa_cache.hit_rate"
+TLB_L1_MISS_RATE = "memsys.tlb.l1_miss_rate"
+TLB_L2_MISS_RATE = "memsys.tlb.l2_miss_rate"
+GRIT_PAGES_ON_TOUCH = "grit.pages.on_touch"
+GRIT_PAGES_ACCESS_COUNTER = "grit.pages.access_counter"
+GRIT_PAGES_DUPLICATION = "grit.pages.duplication"
+
+# -- histograms (per-operation cost distributions) ---------------------
+
+UVM_FAULT_SERVICE_CYCLES = "uvm.fault.service_cycles"
+UVM_MIGRATION_CYCLES = "uvm.migration.cycles"
+
+
+def _counter(name: str, description: str) -> MetricSpec:
+    return MetricSpec(name, MetricKind.COUNTER, description, unit="events")
+
+
+def _gauge(name: str, description: str, unit: str = "") -> MetricSpec:
+    return MetricSpec(name, MetricKind.GAUGE, description, unit=unit)
+
+
+def _histogram(name: str, description: str) -> MetricSpec:
+    return MetricSpec(
+        name, MetricKind.HISTOGRAM, description, unit="cycles"
+    )
+
+
+#: Every metric the observability layer registers, in catalog order.
+METRICS: Tuple[MetricSpec, ...] = (
+    _counter(SIM_ACCESSES, "memory accesses replayed by the engine"),
+    _counter(UVM_LOCAL_FAULTS, "local page faults serviced by the driver"),
+    _counter(UVM_PROTECTION_FAULTS, "page protection faults (writes to "
+             "read-only duplicates)"),
+    _counter(UVM_MIGRATIONS, "page migrations performed"),
+    _counter(UVM_DUPLICATIONS, "page duplications performed"),
+    _counter(UVM_WRITE_COLLAPSES, "write collapses performed"),
+    _counter(UVM_EVICTIONS, "DRAM frame evictions under oversubscription"),
+    _counter(UVM_REMOTE_ACCESSES, "data accesses served from a remote "
+             "node"),
+    _counter(UVM_PREFETCHES, "background tree-prefetcher page pulls"),
+    _counter(GRIT_SCHEME_CHANGES, "PTE scheme-bit rewrites (threshold "
+             "decisions plus neighbor propagation)"),
+    _gauge(UVM_FAULT_QUEUE_DEPTH, "faults that arrived at the host "
+           "service queue during the last sample interval", "faults"),
+    _gauge(PA_CACHE_HIT_RATE, "PA-Cache hit rate since the start of the "
+           "run (GRIT policies only)", "ratio"),
+    _gauge(TLB_L1_MISS_RATE, "cumulative L1 TLB miss rate across GPUs",
+           "ratio"),
+    _gauge(TLB_L2_MISS_RATE, "cumulative L2 TLB miss rate across GPUs",
+           "ratio"),
+    _gauge(GRIT_PAGES_ON_TOUCH, "pages whose PTE scheme bits currently "
+           "say on-touch migration", "pages"),
+    _gauge(GRIT_PAGES_ACCESS_COUNTER, "pages whose PTE scheme bits "
+           "currently say access-counter migration", "pages"),
+    _gauge(GRIT_PAGES_DUPLICATION, "pages whose PTE scheme bits "
+           "currently say duplication", "pages"),
+    _histogram(UVM_FAULT_SERVICE_CYCLES, "stall cycles charged per "
+               "serviced local page fault"),
+    _histogram(UVM_MIGRATION_CYCLES, "cycles charged per page "
+               "migration"),
+)
+
+
+def build_registry() -> MetricsRegistry:
+    """A fresh registry with the whole catalogue registered."""
+    registry = MetricsRegistry()
+    for spec in METRICS:
+        registry.register(spec)
+    return registry

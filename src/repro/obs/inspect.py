@@ -1,0 +1,117 @@
+"""Run inspection: page lifecycles rebuilt from the event log.
+
+The structured :class:`~repro.stats.events.EventLog` records what the
+machine actually did; this module turns that record into answers —
+"what happened to page N?", "which pages churned the most?" — backing
+the ``grit-repro inspect`` subcommand.  The reconstruction is pure:
+inspection never re-runs the simulation, it only reads the log, so the
+lifecycle it reports is exactly the sequence the machine recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.constants import HOST_NODE, Scheme
+from repro.stats.events import Event, EventKind, EventLog
+
+
+def _node_name(node: int) -> str:
+    return "host" if node == HOST_NODE else f"gpu{node}"
+
+
+@dataclasses.dataclass(frozen=True)
+class LifecycleStep:
+    """One event in a page's life, with the scheme in force after it."""
+
+    index: int
+    event: Event
+    #: Scheme-bit state after this event; None until the first
+    #: SCHEME_CHANGE reveals it (pages start under the policy default).
+    scheme: Optional[Scheme]
+
+    def describe(self) -> str:
+        """Human-readable one-liner for this step."""
+        event = self.event
+        kind = event.kind
+        who = _node_name(event.gpu)
+        if kind is EventKind.LOCAL_FAULT:
+            access = "write" if event.detail else "read"
+            text = f"{access} fault on {who}"
+        elif kind is EventKind.PROTECTION_FAULT:
+            text = f"write hit a read-only replica on {who}"
+        elif kind is EventKind.MIGRATION:
+            text = f"migrated {who} -> {_node_name(event.detail)}"
+        elif kind is EventKind.DUPLICATION:
+            text = f"duplicated to {who}"
+        elif kind is EventKind.WRITE_COLLAPSE:
+            text = (
+                f"collapsed to writer {who} "
+                f"(dropped {event.detail} replicas)"
+            )
+        elif kind is EventKind.EVICTION:
+            text = f"evicted from {who}"
+        elif kind is EventKind.SCHEME_CHANGE:
+            scheme = Scheme(event.detail)
+            text = f"scheme set to {scheme.short_name} (seen by {who})"
+        elif kind is EventKind.GROUP_PROMOTION:
+            text = f"group promoted ({event.detail} pages, via {who})"
+        elif kind is EventKind.GROUP_DEGRADATION:
+            text = f"group degraded ({event.detail} pages, via {who})"
+        elif kind is EventKind.PREFETCH:
+            text = f"prefetched to {who}"
+        else:  # pragma: no cover - exhaustive over EventKind
+            text = f"{kind.value} on {who}"
+        if event.cycles:
+            text += f"  [{event.cycles} cycles]"
+        return text
+
+
+def scheme_transitions(log: EventLog, vpn: int) -> List[Scheme]:
+    """The page's scheme-bit sequence, in recorded order."""
+    return [
+        Scheme(event.detail)
+        for event in log.filter(kind=EventKind.SCHEME_CHANGE, vpn=vpn)
+    ]
+
+
+def page_lifecycle(log: EventLog, vpn: int) -> List[LifecycleStep]:
+    """Every recorded event for a page, annotated with scheme state."""
+    steps: List[LifecycleStep] = []
+    scheme: Optional[Scheme] = None
+    for index, event in enumerate(log.page_history(vpn)):
+        if event.kind is EventKind.SCHEME_CHANGE:
+            scheme = Scheme(event.detail)
+        steps.append(LifecycleStep(index=index, event=event, scheme=scheme))
+    return steps
+
+
+def render_lifecycle(log: EventLog, vpn: int) -> str:
+    """The ``grit-repro inspect --vpn`` report for one page."""
+    steps = page_lifecycle(log, vpn)
+    if not steps:
+        return f"page {vpn}: no recorded events"
+    lines = [f"page {vpn}: {len(steps)} events"]
+    for step in steps:
+        marker = step.scheme.short_name if step.scheme else "-"
+        lines.append(f"  #{step.index:<4d} [{marker:>4s}] {step.describe()}")
+    transitions = scheme_transitions(log, vpn)
+    if transitions:
+        chain = " -> ".join(scheme.short_name for scheme in transitions)
+        lines.append(f"  scheme transitions: {chain}")
+    return "\n".join(lines)
+
+
+def busiest_pages(
+    log: EventLog, limit: int = 10
+) -> List[Tuple[int, int]]:
+    """``(vpn, event_count)`` for the most-eventful pages.
+
+    Ties break toward the lower page number so the ranking is stable.
+    """
+    tallies: dict[int, int] = {}
+    for event in log:
+        tallies[event.vpn] = tallies.get(event.vpn, 0) + 1
+    ranked = sorted(tallies.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:limit]

@@ -1,0 +1,123 @@
+"""Per-interval metric sampling from live machine state.
+
+The sampler is pull-style: nothing on the simulation fast path writes
+a metric.  At each sample tick the engine hands it the current
+simulated cycle and it copies totals out of the accumulators the
+simulator already maintains (:class:`~repro.stats.counters.
+EventCounters`, TLB hit counters, the central page table) into the
+:class:`~repro.obs.metrics.MetricsRegistry` and snapshots a sample
+row per metric.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.constants import Scheme
+from repro.obs import catalog
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.policies.base import PlacementPolicy
+    from repro.uvm.machine import MachineState
+
+
+class MetricsSampler:
+    """Copies simulator accumulators into the registry per interval."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        machine: "MachineState",
+        policy: "PlacementPolicy",
+    ) -> None:
+        self.registry = registry
+        self.machine = machine
+        self.policy = policy
+        self._faults_at_last_sample = 0
+
+    def sample(self, now: int) -> None:
+        """Snapshot every catalog counter and gauge at cycle ``now``."""
+        registry = self.registry
+        machine = self.machine
+        counters = machine.counters
+        registry.set_total(catalog.SIM_ACCESSES, counters.accesses)
+        registry.set_total(
+            catalog.UVM_LOCAL_FAULTS, counters.local_page_faults
+        )
+        registry.set_total(
+            catalog.UVM_PROTECTION_FAULTS, counters.protection_faults
+        )
+        registry.set_total(catalog.UVM_MIGRATIONS, counters.migrations)
+        registry.set_total(catalog.UVM_DUPLICATIONS, counters.duplications)
+        registry.set_total(
+            catalog.UVM_WRITE_COLLAPSES, counters.write_collapses
+        )
+        registry.set_total(catalog.UVM_EVICTIONS, counters.evictions)
+        registry.set_total(
+            catalog.UVM_REMOTE_ACCESSES, counters.remote_accesses
+        )
+        registry.set_total(catalog.UVM_PREFETCHES, counters.prefetches)
+        registry.set_total(
+            catalog.GRIT_SCHEME_CHANGES, counters.scheme_changes
+        )
+        # Fault arrivals within the sample window stand in for the host
+        # service queue's depth (the model services faults one at a
+        # time, so arrivals-per-interval is the queue pressure signal).
+        faults = counters.total_faults
+        registry.set_gauge(
+            catalog.UVM_FAULT_QUEUE_DEPTH,
+            faults - self._faults_at_last_sample,
+        )
+        self._faults_at_last_sample = faults
+        self._sample_tlb_rates()
+        self._sample_scheme_population()
+        self._sample_pa_cache()
+        registry.sample(now)
+
+    def _sample_tlb_rates(self) -> None:
+        l1_hits = l1_misses = l2_hits = l2_misses = 0
+        for gpu in self.machine.gpus:
+            l1_hits += gpu.tlbs.l1.hits
+            l1_misses += gpu.tlbs.l1.misses
+            l2_hits += gpu.tlbs.l2.hits
+            l2_misses += gpu.tlbs.l2.misses
+        l1_total = l1_hits + l1_misses
+        l2_total = l2_hits + l2_misses
+        self.registry.set_gauge(
+            catalog.TLB_L1_MISS_RATE,
+            l1_misses / l1_total if l1_total else 0.0,
+        )
+        self.registry.set_gauge(
+            catalog.TLB_L2_MISS_RATE,
+            l2_misses / l2_total if l2_total else 0.0,
+        )
+
+    def _sample_scheme_population(self) -> None:
+        populations = {scheme: 0 for scheme in Scheme}
+        for page in self.machine.central_pt.pages():
+            populations[page.scheme] += 1
+        self.registry.set_gauge(
+            catalog.GRIT_PAGES_ON_TOUCH, populations[Scheme.ON_TOUCH]
+        )
+        self.registry.set_gauge(
+            catalog.GRIT_PAGES_ACCESS_COUNTER,
+            populations[Scheme.ACCESS_COUNTER],
+        )
+        self.registry.set_gauge(
+            catalog.GRIT_PAGES_DUPLICATION, populations[Scheme.DUPLICATION]
+        )
+
+    def _sample_pa_cache(self) -> None:
+        """PA-Cache hit rate; stays 0 for policies without a PA path."""
+        mechanism = getattr(self.policy, "mechanism", None)
+        pa_cache = getattr(
+            getattr(mechanism, "initiator", None), "pa_cache", None
+        )
+        if pa_cache is None:
+            return
+        lookups = pa_cache.hits + pa_cache.misses
+        self.registry.set_gauge(
+            catalog.PA_CACHE_HIT_RATE,
+            pa_cache.hits / lookups if lookups else 0.0,
+        )

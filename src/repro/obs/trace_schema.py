@@ -1,0 +1,118 @@
+"""Chrome trace-event schema validation.
+
+Perfetto and ``chrome://tracing`` are forgiving loaders; this validator
+is not.  It checks the subset of the trace-event format the tracer
+emits — ``X`` complete events, ``i`` instants, ``C`` counters, and
+``M`` metadata — strictly enough that a malformed export fails tests
+and CI instead of rendering as a silently empty timeline.
+
+Usable as a module too::
+
+    python -m repro.obs.trace_schema out.json
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+#: Event phases the exporter may produce.
+_KNOWN_PHASES = frozenset({"X", "i", "C", "M"})
+
+_NUMERIC = (int, float)
+
+
+def _check_event(index: int, event: object, errors: List[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    phase = event.get("ph")
+    if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+        errors.append(f"{where}: unknown or missing phase {phase!r}")
+        return
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing event name")
+    if not isinstance(event.get("pid"), int):
+        errors.append(f"{where}: missing integer pid")
+    if "args" in event and not isinstance(event["args"], dict):
+        errors.append(f"{where}: args is not an object")
+    if phase == "M":
+        return
+    ts = event.get("ts")
+    if not isinstance(ts, _NUMERIC) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}: missing non-negative ts")
+    if phase == "X":
+        duration = event.get("dur")
+        if (
+            not isinstance(duration, _NUMERIC)
+            or isinstance(duration, bool)
+            or duration < 0
+        ):
+            errors.append(f"{where}: complete event needs dur >= 0")
+        if not isinstance(event.get("tid"), int):
+            errors.append(f"{where}: complete event needs an integer tid")
+    elif phase == "i":
+        if event.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant event needs scope s in t/p/g")
+    elif phase == "C":
+        args = event.get("args")
+        if not isinstance(args, dict) or not args:
+            errors.append(f"{where}: counter event needs value args")
+        elif not all(
+            isinstance(value, _NUMERIC) and not isinstance(value, bool)
+            for value in args.values()
+        ):
+            errors.append(f"{where}: counter args must be numeric")
+
+
+def validate_chrome_trace(document: object) -> List[str]:
+    """Validate a parsed trace document; returns a list of problems.
+
+    An empty list means the document is a structurally valid Chrome
+    trace-event JSON object.
+    """
+    errors: List[str] = []
+    if not isinstance(document, dict):
+        return ["trace document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace document has no traceEvents array"]
+    for index, event in enumerate(events):
+        _check_event(index, event, errors)
+    return errors
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Load and validate a trace JSON file from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: cannot load trace JSON: {exc}"]
+    return validate_chrome_trace(document)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """``python -m repro.obs.trace_schema <trace.json> [...]``"""
+    import sys
+
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.trace_schema TRACE.json [...]")
+        return 2
+    status = 0
+    for path in paths:
+        errors = validate_trace_file(path)
+        if errors:
+            status = 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: valid Chrome trace-event JSON")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

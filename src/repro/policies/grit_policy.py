@@ -73,6 +73,25 @@ class GritPolicy(PlacementPolicy):
         collapse_charged: tuple[int, ...] = ()
         collapse_background: list[int] = []
         event_log = self.machine.event_log
+        if event_log is not None and (
+            change.promotions or change.degradations
+        ):
+            from repro.stats.events import EventKind
+
+            if change.promotions:
+                event_log.emit(
+                    EventKind.GROUP_PROMOTION,
+                    vpn,
+                    gpu,
+                    detail=change.promotions,
+                )
+            if change.degradations:
+                event_log.emit(
+                    EventKind.GROUP_DEGRADATION,
+                    vpn,
+                    gpu,
+                    detail=change.degradations,
+                )
         if change.scheme_changed:
             counters.scheme_changes += 1
             if event_log is not None:

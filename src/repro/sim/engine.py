@@ -16,6 +16,8 @@ from repro.config import SystemConfig
 from repro.constants import HOST_NODE, LatencyCategory
 from repro.errors import SimulationError
 from repro.memsys.address import AddressSpace
+from repro.obs.run import RunObservation, observe_enabled
+from repro.obs.tracer import ENGINE_TRACK
 from repro.policies.base import PlacementPolicy
 from repro.sim.result import SimulationResult
 from repro.stats.timeline import IntervalTimeline
@@ -39,6 +41,7 @@ class Engine:
         prefetcher: "TreePrefetcher | None" = None,
         timeline: IntervalTimeline | None = None,
         event_log: "EventLog | None" = None,
+        observation: RunObservation | None = None,
     ) -> None:
         if trace.num_gpus != config.num_gpus:
             raise SimulationError(
@@ -62,6 +65,13 @@ class Engine:
             config, footprint, initial_scheme=policy.initial_scheme()
         )
         self.machine.event_log = event_log
+        # Observability binds before the driver is built so the driver
+        # sees the tracer and wraps its entry points.
+        self.observation = observation
+        if self.observation is None and observe_enabled(config):
+            self.observation = RunObservation()
+        if self.observation is not None:
+            self.observation.bind(self.machine, policy)
         self.driver = UvmDriver(self.machine, policy)
         if prefetcher is not None:
             prefetcher.bind(self.driver)
@@ -99,6 +109,10 @@ class Engine:
         interval = policy.interval_cycles
         next_interval = interval if interval else None
         timeline = self.timeline
+        observation = self.observation
+        obs_next = (
+            observation.sample_interval if observation is not None else None
+        )
 
         gpus = machine.gpus
         streams = [
@@ -116,7 +130,16 @@ class Engine:
             now = node.clock
             if next_interval is not None and now >= next_interval:
                 policy.on_interval(now)
+                if observation is not None:
+                    observation.tracer.instant(
+                        "policy_interval", ENGINE_TRACK, now
+                    )
                 next_interval += interval
+            if obs_next is not None and now >= obs_next:
+                observation.sample(now)
+                obs_next = (
+                    now // observation.sample_interval + 1
+                ) * observation.sample_interval
             index = heads[gpu_id]
             base_vpn = streams[gpu_id][0][index]
             is_write = streams[gpu_id][1][index]
@@ -248,10 +271,15 @@ class Engine:
         machine.counters.evictions = sum(per_gpu_evictions)
         details["footprint_pages"] = machine.footprint_pages
         details["fault_imbalance"] = machine.counters.fault_imbalance()
+        total_cycles = max(gpu.clock for gpu in machine.gpus)
+        if machine.event_log is not None:
+            details["dropped_events"] = machine.event_log.dropped
+        if self.observation is not None:
+            self.observation.finalize(total_cycles)
         return SimulationResult(
             workload=self.trace.name,
             policy=self.policy.name,
-            total_cycles=max(gpu.clock for gpu in machine.gpus),
+            total_cycles=total_cycles,
             per_gpu_cycles=[gpu.clock for gpu in machine.gpus],
             counters=machine.counters,
             breakdown=machine.breakdown,

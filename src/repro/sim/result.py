@@ -55,4 +55,6 @@ class SimulationResult:
                 for label, cycles in self.breakdown.as_dict().items()
             }
         )
+        if "dropped_events" in self.details:
+            data["dropped_events"] = self.details["dropped_events"]
         return data

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import warnings
 from typing import Callable, Iterator, List
 
 
@@ -27,6 +28,8 @@ class EventKind(enum.Enum):
     WRITE_COLLAPSE = "write_collapse"
     EVICTION = "eviction"
     SCHEME_CHANGE = "scheme_change"
+    GROUP_PROMOTION = "group_promotion"
+    GROUP_DEGRADATION = "group_degradation"
     PREFETCH = "prefetch"
 
 
@@ -53,6 +56,9 @@ class EventLog:
         self.capacity = capacity
         self._events: List[Event] = []
         self.dropped = 0
+        #: Optional callback invoked with every event, including ones
+        #: dropped for capacity (observability subscribes here).
+        self.listener: Callable[[Event], None] | None = None
 
     def emit(
         self,
@@ -62,13 +68,24 @@ class EventLog:
         detail: int = 0,
         cycles: int = 0,
     ) -> None:
-        """Append one event (silently dropped past capacity)."""
+        """Append one event (dropped past capacity, with a warning)."""
+        event = Event(
+            kind=kind, vpn=vpn, gpu=gpu, detail=detail, cycles=cycles
+        )
+        if self.listener is not None:
+            self.listener(event)
         if len(self._events) >= self.capacity:
+            if self.dropped == 0:
+                warnings.warn(
+                    f"EventLog is full ({self.capacity} events); further "
+                    f"events are dropped — raise the capacity or filter "
+                    f"earlier",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self.dropped += 1
             return
-        self._events.append(
-            Event(kind=kind, vpn=vpn, gpu=gpu, detail=detail, cycles=cycles)
-        )
+        self._events.append(event)
 
     def __len__(self) -> int:
         return len(self._events)

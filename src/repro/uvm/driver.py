@@ -37,6 +37,10 @@ _SANITIZED_OPERATIONS = (
     "prefetch_page",
 )
 
+#: Driver entry points recorded as spans when a tracer is installed
+#: (same complete-operation boundaries the sanitizer uses).
+_TRACED_OPERATIONS = _SANITIZED_OPERATIONS
+
 
 class UvmDriver:
     """Host-side memory manager tying mechanics to the active policy."""
@@ -55,6 +59,8 @@ class UvmDriver:
                 ),
             )
             self._install_sanitizer_hooks()
+        if machine.tracer is not None:
+            self._install_trace_hooks()
         policy.bind(machine)
 
     def _install_sanitizer_hooks(self) -> None:
@@ -77,6 +83,33 @@ class UvmDriver:
                 + [f"{key}={value!r}" for key, value in kwargs.items()]
             )
             sanitizer.check(f"{name}({described})")
+            return result
+
+        return wrapper
+
+    def _install_trace_hooks(self) -> None:
+        """Wrap every public entry point with span recording.
+
+        Same instance-level wrapping as the sanitizer: with no tracer
+        installed the fast path does not even test a flag.  Installed
+        after the sanitizer hooks so a span covers the operation plus
+        its consistency sweep.
+        """
+        for name in _TRACED_OPERATIONS:
+            setattr(self, name, self._traced(getattr(self, name), name))
+
+    def _traced(self, operation, name: str):
+        tracer = self.machine.tracer
+        gpus = self.machine.gpus
+
+        @functools.wraps(operation)
+        def wrapper(gpu, vpn, *args, **kwargs):
+            tracer.op_begin(name, gpu, gpus[gpu].clock)
+            result = operation(gpu, vpn, *args, **kwargs)
+            # prefetch_page returns bool (a subclass of int); only true
+            # cycle counts become span durations.
+            duration = result if type(result) is int else 0
+            tracer.op_end(duration, vpn=vpn)
             return result
 
         return wrapper

@@ -21,6 +21,7 @@ from repro.stats.counters import EventCounters
 from repro.stats.latency import LatencyBreakdown
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import SpanTracer
     from repro.sim.gpu import GpuNode
     from repro.stats.events import EventLog
 
@@ -40,6 +41,9 @@ class MachineState:
     footprint_pages: int = 0
     #: Optional structured event log (attach before simulating).
     event_log: "EventLog | None" = None
+    #: Optional span tracer (observability attaches it before the UVM
+    #: driver is built; the driver then wraps its entry points).
+    tracer: "SpanTracer | None" = None
 
     @classmethod
     def build(

@@ -284,3 +284,77 @@ class TestProjectRules:
         (tmp_path / "README.md").unlink()
         engine = LintEngine(pkg, repo_root=tmp_path)
         assert "GRIT-C004" not in ids(engine.run(paths=[]))
+
+
+def _write_obs_package(tmp_path, consumer="", obs_doc=None):
+    """Minimal fake package exercising the metric-catalog rule."""
+    pkg = tmp_path / "pkg"
+    (pkg / "obs").mkdir(parents=True)
+    (pkg / "obs" / "__init__.py").write_text("")
+    (pkg / "obs" / "catalog.py").write_text(
+        "USED_METRIC = 'obs.used.total'\n"
+        "ORPHAN_METRIC = 'obs.orphan.total'\n"
+        "METRICS = (USED_METRIC, ORPHAN_METRIC)\n"
+    )
+    if consumer:
+        (pkg / "sampler.py").write_text(consumer)
+    if obs_doc is not None:
+        (tmp_path / "docs").mkdir(exist_ok=True)
+        (tmp_path / "docs" / "observability.md").write_text(obs_doc)
+    (tmp_path / "README.md").write_text("")
+    return pkg
+
+
+class TestMetricCatalogRule:
+    CONSUMER = (
+        "from pkg.obs import catalog\n\n\n"
+        "def sample(registry):\n"
+        "    registry.inc(catalog.USED_METRIC)\n"
+    )
+    BOTH_CONSUMER = (
+        "from pkg.obs import catalog\n\n\n"
+        "def sample(registry):\n"
+        "    registry.inc(catalog.USED_METRIC)\n"
+        "    registry.inc(catalog.ORPHAN_METRIC)\n"
+    )
+
+    def test_flags_unused_and_undocumented_metrics(self, tmp_path):
+        pkg = _write_obs_package(
+            tmp_path,
+            consumer=self.CONSUMER,
+            obs_doc="only `obs.used.total` is documented",
+        )
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        findings = [
+            finding
+            for finding in engine.run(paths=[])
+            if finding.rule_id == "GRIT-C005"
+        ]
+        messages = [finding.message for finding in findings]
+        assert any("ORPHAN_METRIC" in message for message in messages)
+        assert any("obs.orphan.total" in message for message in messages)
+        assert not any("USED_METRIC" in message for message in messages)
+
+    def test_clean_catalog_passes(self, tmp_path):
+        pkg = _write_obs_package(
+            tmp_path,
+            consumer=self.BOTH_CONSUMER,
+            obs_doc="`obs.used.total` and `obs.orphan.total`",
+        )
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        assert "GRIT-C005" not in ids(engine.run(paths=[]))
+
+    def test_missing_doc_degrades_to_usage_check_only(self, tmp_path):
+        pkg = _write_obs_package(tmp_path, consumer=self.BOTH_CONSUMER)
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        assert "GRIT-C005" not in ids(engine.run(paths=[]))
+
+    def test_usage_inside_catalog_does_not_count(self, tmp_path):
+        pkg = _write_obs_package(
+            tmp_path,
+            consumer="",
+            obs_doc="`obs.used.total` and `obs.orphan.total`",
+        )
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        found = ids(engine.run(paths=[]))
+        assert found.count("GRIT-C005") == 2

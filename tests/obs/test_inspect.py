@@ -1,0 +1,116 @@
+"""Run inspector: page lifecycles rebuilt from the event log."""
+
+from repro.constants import HOST_NODE, Scheme
+from repro.obs.inspect import (
+    busiest_pages,
+    page_lifecycle,
+    render_lifecycle,
+    scheme_transitions,
+)
+from repro.stats.events import EventKind, EventLog
+
+
+def sample_log():
+    log = EventLog()
+    log.emit(EventKind.LOCAL_FAULT, vpn=7, gpu=0, detail=0, cycles=40)
+    log.emit(EventKind.MIGRATION, vpn=7, gpu=HOST_NODE, detail=0,
+             cycles=300)
+    log.emit(
+        EventKind.SCHEME_CHANGE,
+        vpn=7,
+        gpu=1,
+        detail=int(Scheme.ACCESS_COUNTER),
+    )
+    log.emit(EventKind.MIGRATION, vpn=9, gpu=0, detail=1, cycles=300)
+    log.emit(
+        EventKind.SCHEME_CHANGE,
+        vpn=7,
+        gpu=1,
+        detail=int(Scheme.DUPLICATION),
+    )
+    log.emit(EventKind.DUPLICATION, vpn=7, gpu=1, cycles=250)
+    return log
+
+
+class TestSchemeTransitions:
+    def test_matches_emitted_sequence(self):
+        log = sample_log()
+        recorded = [
+            Scheme(e.detail)
+            for e in log.filter(kind=EventKind.SCHEME_CHANGE, vpn=7)
+        ]
+        assert scheme_transitions(log, 7) == recorded
+        assert scheme_transitions(log, 7) == [
+            Scheme.ACCESS_COUNTER,
+            Scheme.DUPLICATION,
+        ]
+
+    def test_untouched_page_has_no_transitions(self):
+        assert scheme_transitions(sample_log(), 99) == []
+
+
+class TestPageLifecycle:
+    def test_scheme_annotation_tracks_running_state(self):
+        steps = page_lifecycle(sample_log(), 7)
+        assert [s.event.kind for s in steps] == [
+            EventKind.LOCAL_FAULT,
+            EventKind.MIGRATION,
+            EventKind.SCHEME_CHANGE,
+            EventKind.SCHEME_CHANGE,
+            EventKind.DUPLICATION,
+        ]
+        assert [s.scheme for s in steps] == [
+            None,
+            None,
+            Scheme.ACCESS_COUNTER,
+            Scheme.DUPLICATION,
+            Scheme.DUPLICATION,
+        ]
+        assert [s.index for s in steps] == [0, 1, 2, 3, 4]
+
+    def test_describe_lines(self):
+        steps = page_lifecycle(sample_log(), 7)
+        texts = [s.describe() for s in steps]
+        assert texts[0] == "read fault on gpu0  [40 cycles]"
+        assert texts[1] == "migrated host -> gpu0  [300 cycles]"
+        assert "scheme set to" in texts[2]
+        assert texts[4] == "duplicated to gpu1  [250 cycles]"
+
+
+class TestRenderLifecycle:
+    def test_report_layout(self):
+        text = render_lifecycle(sample_log(), 7)
+        lines = text.splitlines()
+        assert lines[0] == "page 7: 5 events"
+        assert lines[1].startswith("  #0")
+        # Scheme marker column shows "-" before the first change.
+        assert "[   -]" in lines[1]
+        assert lines[-1].endswith(
+            "scheme transitions: "
+            + Scheme.ACCESS_COUNTER.short_name
+            + " -> "
+            + Scheme.DUPLICATION.short_name
+        )
+
+    def test_empty_page(self):
+        assert render_lifecycle(sample_log(), 42) == (
+            "page 42: no recorded events"
+        )
+
+
+class TestBusiestPages:
+    def test_ranking_and_tie_break(self):
+        log = EventLog()
+        for vpn in (3, 3, 3, 8, 8, 5, 5):
+            log.emit(EventKind.MIGRATION, vpn=vpn, gpu=0)
+        # 5 and 8 tie on count; the lower vpn ranks first.
+        assert busiest_pages(log) == [(3, 3), (5, 2), (8, 2)]
+
+    def test_limit(self):
+        log = EventLog()
+        for vpn in range(20):
+            log.emit(EventKind.EVICTION, vpn=vpn, gpu=0)
+        assert len(busiest_pages(log, limit=4)) == 4
+
+    def test_empty_log(self):
+        assert busiest_pages(EventLog()) == []

@@ -1,0 +1,58 @@
+"""Host-side wall-time profiler (the one allowed to read the clock)."""
+
+from repro.obs.profile import PhaseProfiler, profile_run
+
+
+class TestPhaseProfiler:
+    def test_phases_record_in_completion_order(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("outer"):
+            with profiler.phase("inner"):
+                pass
+        assert [name for name, _ in profiler.phases] == [
+            "inner",
+            "outer",
+        ]
+        assert all(seconds >= 0 for _, seconds in profiler.phases)
+
+    def test_phase_records_even_on_exception(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [name for name, _ in profiler.phases] == ["doomed"]
+
+    def test_total_is_sum_of_phases(self):
+        profiler = PhaseProfiler()
+        profiler.phases = [("a", 1.0), ("b", 3.0)]
+        assert profiler.total_seconds() == 4.0
+
+    def test_render_table(self):
+        profiler = PhaseProfiler()
+        profiler.phases = [("replay", 3.0), ("summarize", 1.0)]
+        lines = profiler.render().splitlines()
+        assert lines[0].startswith("replay")
+        assert "75.0%" in lines[0]
+        assert "25.0%" in lines[1]
+        assert lines[-1].startswith("total")
+        assert "100.0%" in lines[-1]
+
+    def test_render_with_no_phases(self):
+        text = PhaseProfiler().render()
+        assert "total" in text
+        assert "100.0%" in text
+
+
+class TestProfileRun:
+    def test_profiles_a_tiny_workload(self):
+        profiled = profile_run("bfs", "on_touch", num_gpus=2, scale=0.02)
+        assert [name for name, _ in profiled.profiler.phases] == [
+            "generate-trace",
+            "build-engine",
+            "replay",
+            "summarize",
+        ]
+        assert profiled.result.total_cycles > 0
+        assert profiled.profiler.total_seconds() > 0

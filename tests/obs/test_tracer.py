@@ -1,0 +1,183 @@
+"""Span tracer: layout, child spans, bounds, Chrome export."""
+
+import pytest
+
+from repro.obs.tracer import (
+    ENGINE_TRACK,
+    Span,
+    SpanTracer,
+    to_chrome_trace,
+    track_for_gpu,
+)
+from repro.stats.events import Event, EventKind
+
+
+class TestTrackNaming:
+    def test_gpu_and_host_tracks(self):
+        assert track_for_gpu(0) == "gpu0"
+        assert track_for_gpu(3) == "gpu3"
+        assert track_for_gpu(-1) == "host"
+
+
+class TestOperationSpans:
+    def test_begin_end_records_span(self):
+        tracer = SpanTracer()
+        tracer.op_begin("handle_local_fault", 0, 100)
+        tracer.op_end(50, vpn=7)
+        assert tracer.spans == [
+            Span("handle_local_fault", "gpu0", 100, 50, (("vpn", 7),))
+        ]
+
+    def test_zero_duration_childless_op_is_dropped(self):
+        tracer = SpanTracer()
+        tracer.op_begin("on_remote_access", 1, 10)
+        tracer.op_end(0, vpn=3)
+        assert tracer.spans == []
+
+    def test_same_start_ops_serialize_on_track(self):
+        tracer = SpanTracer()
+        tracer.op_begin("a", 0, 100)
+        tracer.op_end(40)
+        tracer.op_begin("b", 0, 100)
+        tracer.op_end(10)
+        starts = [(s.name, s.start) for s in tracer.spans]
+        assert starts == [("a", 100), ("b", 140)]
+
+    def test_distinct_tracks_do_not_serialize(self):
+        tracer = SpanTracer()
+        tracer.op_begin("a", 0, 100)
+        tracer.op_end(40)
+        tracer.op_begin("b", 1, 100)
+        tracer.op_end(10)
+        assert [(s.track, s.start) for s in tracer.spans] == [
+            ("gpu0", 100),
+            ("gpu1", 100),
+        ]
+
+    def test_op_end_without_begin_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            tracer.op_end(5)
+
+
+class TestChildSpans:
+    def test_events_during_op_become_sequential_children(self):
+        tracer = SpanTracer()
+        tracer.op_begin("handle_local_fault", 0, 1000)
+        tracer.on_event(Event(EventKind.MIGRATION, 7, 0, 1, 300))
+        tracer.on_event(Event(EventKind.EVICTION, 9, 0, 0, 100))
+        tracer.op_end(600, vpn=7)
+        names = [(s.name, s.start, s.duration) for s in tracer.spans]
+        assert names == [
+            ("handle_local_fault", 1000, 600),
+            ("migration", 1000, 300),
+            ("eviction", 1300, 100),
+        ]
+        # All children share the parent's track.
+        assert {s.track for s in tracer.spans} == {"gpu0"}
+
+    def test_fault_events_are_not_children(self):
+        tracer = SpanTracer()
+        tracer.op_begin("handle_local_fault", 0, 0)
+        tracer.on_event(Event(EventKind.LOCAL_FAULT, 7, 0, 0, 500))
+        tracer.op_end(500)
+        assert [s.name for s in tracer.spans] == ["handle_local_fault"]
+
+    def test_zero_duration_op_with_children_is_kept(self):
+        tracer = SpanTracer()
+        tracer.op_begin("prefetch_page", 0, 50)
+        tracer.on_event(Event(EventKind.PREFETCH, 3, 0, 0, 0))
+        tracer.op_end(0, vpn=3)
+        assert [s.name for s in tracer.spans] == [
+            "prefetch_page",
+            "prefetch",
+        ]
+
+    def test_background_event_lands_on_own_track(self):
+        tracer = SpanTracer()
+        tracer.on_event(Event(EventKind.MIGRATION, 7, 1, 0, 250))
+        tracer.on_event(Event(EventKind.MIGRATION, 8, 1, 0, 250))
+        assert [(s.track, s.start) for s in tracer.spans] == [
+            ("gpu1", 0),
+            ("gpu1", 250),
+        ]
+
+
+class TestBounds:
+    def test_capacity_drops_and_counts(self):
+        tracer = SpanTracer(capacity=2)
+        for i in range(5):
+            tracer.record("s", "gpu0", i, 1)
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+    def test_record_rejects_negative_duration(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            tracer.record("s", "gpu0", 0, -1)
+
+
+class TestChromeExport:
+    def build(self):
+        tracer = SpanTracer()
+        tracer.record("work", "gpu1", 10, 5, vpn=3)
+        tracer.record("work", "gpu0", 0, 7)
+        tracer.instant("tick", ENGINE_TRACK, 42)
+        return tracer
+
+    def test_track_thread_metadata_and_order(self):
+        doc = to_chrome_trace(self.build())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        thread_names = [
+            e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        ]
+        assert thread_names == ["gpu0", "gpu1", "engine"]
+
+    def test_span_becomes_complete_event(self):
+        doc = to_chrome_trace(self.build())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {(e["name"], e["ts"], e["dur"]) for e in complete} == {
+            ("work", 10, 5),
+            ("work", 0, 7),
+        }
+
+    def test_zero_duration_becomes_instant(self):
+        doc = to_chrome_trace(self.build())
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert [(e["name"], e["ts"], e["s"]) for e in instants] == [
+            ("tick", 42, "t")
+        ]
+
+    def test_counter_samples_become_counter_events(self):
+        doc = to_chrome_trace(
+            self.build(), counter_samples=[(5, "uvm.migrations", 3.0)]
+        )
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters == [
+            {
+                "ph": "C",
+                "name": "uvm.migrations",
+                "cat": "metrics",
+                "ts": 5,
+                "pid": 0,
+                "args": {"value": 3.0},
+            }
+        ]
+
+    def test_metadata_and_drop_count_in_other_data(self):
+        tracer = SpanTracer(capacity=1)
+        tracer.record("a", "gpu0", 0, 1)
+        tracer.record("b", "gpu0", 1, 1)
+        doc = to_chrome_trace(tracer, metadata={"workload": "bfs"})
+        assert doc["otherData"]["dropped_spans"] == 1
+        assert doc["otherData"]["workload"] == "bfs"
+
+    def test_span_counts(self):
+        tracer = self.build()
+        assert tracer.span_counts() == {"work": 2, "tick": 1}

@@ -15,7 +15,12 @@ class TestEventLog:
 
     def test_capacity_bound_drops_overflow(self):
         log = EventLog(capacity=2)
-        for i in range(5):
+        log.emit(EventKind.EVICTION, vpn=0, gpu=0)
+        log.emit(EventKind.EVICTION, vpn=1, gpu=0)
+        with pytest.warns(RuntimeWarning, match="EventLog is full"):
+            log.emit(EventKind.EVICTION, vpn=2, gpu=0)
+        for i in range(3, 5):
+            # Only the first drop warns; the rest are silent.
             log.emit(EventKind.EVICTION, vpn=i, gpu=0)
         assert len(log) == 2
         assert log.dropped == 3
@@ -49,6 +54,60 @@ class TestEventLog:
     def test_rejects_bad_capacity(self):
         with pytest.raises(ValueError):
             EventLog(capacity=0)
+
+    def test_filter_all_criteria_combined(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=0, cycles=50)
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=1, cycles=500)
+        log.emit(EventKind.EVICTION, vpn=1, gpu=1, cycles=900)
+        log.emit(EventKind.MIGRATION, vpn=2, gpu=1, cycles=900)
+        selected = log.filter(
+            kind=EventKind.MIGRATION,
+            vpn=1,
+            predicate=lambda e: e.cycles > 100,
+        )
+        assert [(e.vpn, e.gpu) for e in selected] == [(1, 1)]
+
+    def test_filter_predicate_sees_only_kind_vpn_survivors(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=0)
+        log.emit(EventKind.EVICTION, vpn=2, gpu=0)
+        seen = []
+        log.filter(vpn=1, predicate=lambda e: seen.append(e.kind) or True)
+        assert seen == [EventKind.MIGRATION]
+
+    def test_filter_no_criteria_returns_everything(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=0)
+        log.emit(EventKind.EVICTION, vpn=2, gpu=1)
+        assert log.filter() == list(log)
+
+    def test_page_history_preserves_emission_order(self):
+        log = EventLog()
+        log.emit(EventKind.MIGRATION, vpn=7, gpu=0)
+        log.emit(EventKind.EVICTION, vpn=8, gpu=0)
+        log.emit(EventKind.DUPLICATION, vpn=7, gpu=1)
+        log.emit(EventKind.WRITE_COLLAPSE, vpn=7, gpu=1)
+        history = log.page_history(7)
+        assert [e.kind for e in history] == [
+            EventKind.MIGRATION,
+            EventKind.DUPLICATION,
+            EventKind.WRITE_COLLAPSE,
+        ]
+        assert log.page_history(99) == []
+
+    def test_listener_sees_every_event_including_dropped(self):
+        log = EventLog(capacity=1)
+        heard = []
+        log.listener = heard.append
+        log.emit(EventKind.MIGRATION, vpn=1, gpu=0)
+        with pytest.warns(RuntimeWarning):
+            log.emit(EventKind.EVICTION, vpn=2, gpu=0)
+        assert len(log) == 1
+        assert [e.kind for e in heard] == [
+            EventKind.MIGRATION,
+            EventKind.EVICTION,
+        ]
 
 
 class TestEventLogThroughEngine:

@@ -70,3 +70,51 @@ class TestIntervalTimeline:
     def test_rejects_bad_interval_length(self):
         with pytest.raises(ValueError):
             IntervalTimeline(num_gpus=1, interval_length=0)
+
+
+class TestIntervalBoundaries:
+    def test_time_exactly_on_boundary_opens_next_interval(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=10)
+        timeline.record(time=9, gpu=0, vpn=1, is_write=False)
+        timeline.record(time=10, gpu=0, vpn=1, is_write=False)
+        timeline.record(time=20, gpu=0, vpn=1, is_write=False)
+        assert timeline.sample(0, 1).reads == 1
+        assert timeline.sample(1, 1).reads == 1
+        assert timeline.sample(2, 1).reads == 1
+        assert timeline.num_intervals == 3
+
+    def test_first_interval_starts_at_time_zero(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=7)
+        timeline.record(time=0, gpu=0, vpn=3, is_write=True)
+        timeline.record(time=6, gpu=0, vpn=3, is_write=False)
+        sample = timeline.sample(0, 3)
+        assert sample.reads == 1
+        assert sample.writes == 1
+        assert timeline.num_intervals == 1
+
+    def test_last_interval_is_floor_of_max_time(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=7)
+        timeline.record(time=48, gpu=0, vpn=0, is_write=False)
+        # 48 // 7 == 6, so intervals 0..6 exist.
+        assert timeline.num_intervals == 7
+        assert timeline.sample(6, 0).reads == 1
+        assert timeline.sample(5, 0) is None
+
+    def test_interval_length_one_maps_time_to_interval(self):
+        timeline = IntervalTimeline(num_gpus=1, interval_length=1)
+        timeline.record(time=0, gpu=0, vpn=2, is_write=False)
+        timeline.record(time=3, gpu=0, vpn=2, is_write=False)
+        assert timeline.num_intervals == 4
+        assert timeline.page_timeline(2) == [
+            timeline.sample(0, 2),
+            None,
+            None,
+            timeline.sample(3, 2),
+        ]
+
+    def test_empty_timeline_has_no_intervals(self):
+        timeline = IntervalTimeline(num_gpus=2, interval_length=10)
+        assert timeline.num_intervals == 0
+        assert timeline.page_timeline(5) == []
+        assert timeline.touched_pages() == []
+        assert timeline.pages_in_interval(0) == []
