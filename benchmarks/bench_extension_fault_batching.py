@@ -1,0 +1,68 @@
+"""Extension study: batched UVM fault servicing.
+
+Not a paper figure — the paper services one fault at a time.  This
+sweep quantifies what the staged fault-service pipeline adds: batching
+amortizes the host round trip across a drain, and coalescing removes
+duplicate (gpu, vpn) faults entirely (see docs/architecture.md).  The
+batching model's invariants are locked in here so the benchmark doubles
+as an extension-level regression check.
+"""
+
+import os
+
+from repro.config import SystemConfig
+from repro.policies import make_policy
+from repro.sim import Engine
+from repro.workloads import make_workload
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+BATCH_SIZES = (1, 8, 32)
+
+
+def _run(batch_size: int, workload: str = "bfs", policy: str = "grit"):
+    config = SystemConfig(fault_batch_size=batch_size)
+    trace = make_workload(workload, scale=BENCH_SCALE)
+    return Engine(config, trace, make_policy(policy)).run()
+
+
+def test_fault_batching_sweep(benchmark):
+    """Simulated-cycle and wall-clock cost across batch sizes."""
+
+    def sweep():
+        return {size: _run(size) for size in BATCH_SIZES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    inline = results[1]
+    print()
+    header = (
+        f"{'batch':>5}  {'cycles':>12}  {'speedup':>7}  "
+        f"{'batches':>8}  {'coalesced':>9}"
+    )
+    print(header)
+    for size in BATCH_SIZES:
+        result = results[size]
+        counters = result.counters
+        print(
+            f"{size:>5}  {result.total_cycles:>12}  "
+            f"{inline.total_cycles / result.total_cycles:>7.2f}  "
+            f"{counters.fault_batches:>8}  {counters.coalesced_faults:>9}"
+        )
+    # Inline mode never forms batches; batched modes must.
+    assert inline.counters.fault_batches == 0
+    for size in BATCH_SIZES[1:]:
+        assert results[size].counters.fault_batches > 0
+        # Amortizing the host round trip can only help total cycles.
+        assert results[size].total_cycles < inline.total_cycles
+    # All modes replay every access exactly once.
+    accesses = {r.counters.accesses for r in results.values()}
+    assert len(accesses) == 1
+
+
+def test_batched_drain_throughput(benchmark):
+    """Wall-clock cost of the batched path itself (batch 32, GRIT)."""
+    result = benchmark.pedantic(
+        lambda: _run(32, workload="sc"), rounds=3, iterations=1
+    )
+    assert result.counters.fault_batches > 0
+    assert result.counters.coalesced_faults > 0

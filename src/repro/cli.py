@@ -51,6 +51,14 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--gpus", type=int, default=4)
     run.add_argument("--scale", type=float, default=0.3)
     run.add_argument("--page-size", type=int, default=4096)
+    run.add_argument(
+        "--fault-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="local faults the UVM driver services per batch; 1 (the "
+        "default) services every fault inline at the faulting access",
+    )
     _add_observe_arguments(run)
 
     trace_cmd = sub.add_parser(
@@ -315,7 +323,11 @@ def _warn_dropped_events(result) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = SystemConfig(num_gpus=args.gpus, page_size=args.page_size)
+    config = SystemConfig(
+        num_gpus=args.gpus,
+        page_size=args.page_size,
+        fault_batch_size=args.fault_batch,
+    )
     if args.trace or args.metrics:
         result, observation = _observed_simulate(
             config,

@@ -243,6 +243,14 @@ class SystemConfig:
     #: Cycles between successive memory operations of one GPU stream;
     #: stands in for the compute between memory instructions.
     issue_gap: int = 4
+    #: Local page faults the UVM driver services per batch.  At the
+    #: default of 1 every fault is serviced inline at the faulting
+    #: access, reproducing the classic simulator bit-for-bit.  Larger
+    #: values model the real driver's replayable fault buffer: faults
+    #: park per-GPU while other warps keep issuing, then drain as one
+    #: batch that pays a single host round trip and coalesces
+    #: duplicate (gpu, vpn) entries (see docs/architecture.md).
+    fault_batch_size: int = 1
     #: Validate UVM machine-state invariants after every driver
     #: operation (see repro.uvm.sanitizer).  Slow; debugging only.  The
     #: ``GRIT_SANITIZE=1`` environment variable enables it globally.
@@ -267,6 +275,8 @@ class SystemConfig:
             )
         if self.issue_gap < 0:
             raise ConfigError("issue_gap must be non-negative")
+        if self.fault_batch_size < 1:
+            raise ConfigError("fault_batch_size must be >= 1")
 
     @property
     def pages_per_counter_group(self) -> int:

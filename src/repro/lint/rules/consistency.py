@@ -27,6 +27,7 @@ _EVENTS_PATH = "stats/events.py"
 _CLI_PATH = "cli.py"
 _CATALOG_PATH = "obs/catalog.py"
 _OBS_DOC = "docs/observability.md"
+_POLICIES_BASE_PATH = "policies/base.py"
 
 
 @rule
@@ -187,6 +188,73 @@ class MetricCatalogRule(ProjectRule):
                     f"metric {value.value!r} is not documented in "
                     f"{_OBS_DOC}",
                 )
+
+
+@rule
+class MechanicExecutorRule(ProjectRule):
+    """Every Mechanic member has a statically visible executor."""
+
+    rule_id = "GRIT-C006"
+    description = (
+        "every Mechanic enum member must be registered with an "
+        "executor — via an @executes(Mechanic.X) decorator or an "
+        "executor.register(Mechanic.X, fn) call — or fault dispatch "
+        "raises PolicyError at runtime"
+    )
+    hint = (
+        "add an @executes(Mechanic.<member>) default executor in "
+        "uvm/executor.py (or delete the member)"
+    )
+
+    def check_project(self, symbols: SymbolTable) -> Iterator[Finding]:
+        base = symbols.module(_POLICIES_BASE_PATH)
+        if base is None:
+            return
+        members = symbols.enum_members(_POLICIES_BASE_PATH, "Mechanic")
+        if not members:
+            return
+        registered = set()
+        for info in symbols.iter_modules():
+            for node in ast.walk(info.tree):
+                member = _registered_mechanic(node)
+                if member is not None:
+                    registered.add(member)
+        for member, line in members:
+            if member not in registered:
+                yield Finding(
+                    rule_id=self.rule_id,
+                    severity=self.severity,
+                    path=_POLICIES_BASE_PATH,
+                    line=line,
+                    message=(
+                        f"Mechanic.{member} has no registered executor "
+                        f"(no @executes or .register call names it)"
+                    ),
+                    hint=self.hint,
+                )
+
+
+def _registered_mechanic(node: ast.AST) -> str | None:
+    """Mechanic member name a call registers an executor for, if any."""
+    if not isinstance(node, ast.Call) or not node.args:
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id != "executes":
+            return None
+    elif isinstance(func, ast.Attribute):
+        if func.attr not in ("executes", "register"):
+            return None
+    else:
+        return None
+    target = node.args[0]
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "Mechanic"
+    ):
+        return target.attr
+    return None
 
 
 @rule

@@ -25,6 +25,8 @@ UVM_WRITE_COLLAPSES = "uvm.write_collapses.total"
 UVM_EVICTIONS = "uvm.evictions.total"
 UVM_REMOTE_ACCESSES = "uvm.remote_accesses.total"
 UVM_PREFETCHES = "uvm.prefetches.total"
+UVM_FAULT_BATCHES = "uvm.fault.batches.total"
+UVM_COALESCED_FAULTS = "uvm.fault.coalesced.total"
 GRIT_SCHEME_CHANGES = "grit.scheme_changes.total"
 
 # -- gauges (point-in-time state sampled per interval) -----------------
@@ -70,6 +72,10 @@ METRICS: Tuple[MetricSpec, ...] = (
     _counter(UVM_REMOTE_ACCESSES, "data accesses served from a remote "
              "node"),
     _counter(UVM_PREFETCHES, "background tree-prefetcher page pulls"),
+    _counter(UVM_FAULT_BATCHES, "fault batches drained through the "
+             "batched service path"),
+    _counter(UVM_COALESCED_FAULTS, "duplicate (gpu, vpn) fault deposits "
+             "coalesced away during batch drains"),
     _counter(GRIT_SCHEME_CHANGES, "PTE scheme-bit rewrites (threshold "
              "decisions plus neighbor propagation)"),
     _gauge(UVM_FAULT_QUEUE_DEPTH, "faults that arrived at the host "

@@ -59,6 +59,12 @@ class MetricsSampler:
         )
         registry.set_total(catalog.UVM_PREFETCHES, counters.prefetches)
         registry.set_total(
+            catalog.UVM_FAULT_BATCHES, counters.fault_batches
+        )
+        registry.set_total(
+            catalog.UVM_COALESCED_FAULTS, counters.coalesced_faults
+        )
+        registry.set_total(
             catalog.GRIT_SCHEME_CHANGES, counters.scheme_changes
         )
         # Fault arrivals within the sample window stand in for the host

@@ -35,6 +35,7 @@ class GriffinPolicy(PlacementPolicy):
     """Griffin-DPC, optionally with ACUD."""
 
     name = "griffin_dpc"
+    mechanics = frozenset({Mechanic.PEER_REMOTE})
 
     def __init__(
         self,

@@ -26,6 +26,10 @@ class GritPolicy(PlacementPolicy):
     """Fine-grained dynamic page placement."""
 
     name = "grit"
+    # GRIT dispatches on the PTE's scheme bits, so every scheme's
+    # mechanic must have an executor (the PA path can flip a page to
+    # any of the three mid-run).
+    mechanics = frozenset(SCHEME_MECHANIC.values())
 
     def __init__(
         self,

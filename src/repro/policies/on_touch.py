@@ -11,6 +11,7 @@ class OnTouchPolicy(PlacementPolicy):
     """Always migrate a faulting page to the requesting GPU."""
 
     name = "on_touch"
+    mechanics = frozenset({Mechanic.ON_TOUCH})
 
     def initial_scheme(self) -> Scheme:
         """On-touch pages start (and stay) with OT scheme bits."""

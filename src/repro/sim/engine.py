@@ -2,10 +2,16 @@
 
 Each GPU replays its access stream against its own clock; the engine
 always advances the GPU that is furthest behind, which interleaves the
-streams the way concurrent execution would.  Per access the engine walks
-the translation path (L1 TLB -> L2 TLB -> page-table walk -> fault) and
-charges data-access latency by where the page actually lives; the UVM
-driver handles every fault according to the active placement policy.
+streams the way concurrent execution would.  Per access the engine runs
+the staged fault-service pipeline (see ``repro.sim.pipeline``):
+translation (L1 TLB -> L2 TLB -> page-table walk), fault buffering,
+batched fault service, then a data access charged by where the page
+actually lives.  With ``fault_batch_size == 1`` (the default) faults
+are serviced inline at the faulting access — the classic simulator,
+bit-for-bit.  With a larger batch size the faulting access parks in the
+GPU's replayable fault buffer while the stream keeps issuing (the other
+warps of a real GPU); a full buffer drains as one batch through the UVM
+driver and the parked accesses are then replayed.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from repro.memsys.address import AddressSpace
 from repro.obs.run import RunObservation, observe_enabled
 from repro.obs.tracer import ENGINE_TRACK
 from repro.policies.base import PlacementPolicy
+from repro.sim.pipeline import AccessCosts, TranslationStage
 from repro.sim.result import SimulationResult
 from repro.stats.timeline import IntervalTimeline
 from repro.uvm.driver import UvmDriver
@@ -26,7 +33,9 @@ from repro.uvm.machine import MachineState
 from repro.workloads.base import WorkloadTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memsys.page_table import LocalPTE
     from repro.prefetch.tree import TreePrefetcher
+    from repro.sim.gpu import GpuNode
     from repro.stats.events import EventLog
 
 
@@ -73,39 +82,20 @@ class Engine:
         if self.observation is not None:
             self.observation.bind(self.machine, policy)
         self.driver = UvmDriver(self.machine, policy)
+        self.fault_service = self.driver.fault_service
+        self.stage = TranslationStage(
+            self.machine, trace, self.address_space
+        )
+        self.costs = AccessCosts.from_latency(config.latency)
         if prefetcher is not None:
             prefetcher.bind(self.driver)
 
     def run(self) -> SimulationResult:
         """Replay the whole trace; returns the aggregated result."""
         machine = self.machine
-        config = self.config
-        latency = config.latency
         counters = machine.counters
-        breakdown = machine.breakdown
-        central_pt = machine.central_pt
-        driver = self.driver
         policy = self.policy
-        gps_writes = policy.gps_semantics
-        issue_gap = config.issue_gap
-        fold_shift = self.address_space.base_pages_per_page.bit_length() - 1
-        local_access = latency.scaled_data_access(latency.local_dram_access)
-        # Far *writes* are posted (fire-and-forget stores), so they stall
-        # the pipeline for roughly half of a far read's round trip.
-        remote_access = (
-            latency.scaled_remote_access(),
-            max(1, latency.scaled_remote_access() // 2),
-        )
-        host_access = (
-            latency.scaled_host_remote_access(),
-            max(1, latency.scaled_host_remote_access() // 2),
-        )
-        remote_penalty = tuple(
-            max(0, cost - local_access) for cost in remote_access
-        )
-        host_penalty = tuple(
-            max(0, cost - local_access) for cost in host_access
-        )
+        issue_gap = self.config.issue_gap
         interval = policy.interval_cycles
         next_interval = interval if interval else None
         timeline = self.timeline
@@ -115,13 +105,11 @@ class Engine:
         )
 
         gpus = machine.gpus
-        streams = [
-            (vpns.tolist(), writes.tolist())
-            for vpns, writes in self.trace.streams
-        ]
-        heads = [0] * len(streams)
-        lengths = [len(vpns) for vpns, _ in streams]
-        active = [g for g in range(len(streams)) if lengths[g] > 0]
+        stage = self.stage
+        cursors = stage.cursors
+        service = self.fault_service
+        inline = service.inline
+        active = [g for g in range(len(cursors)) if len(cursors[g])]
 
         while active:
             # Advance the GPU that is furthest behind.
@@ -140,71 +128,51 @@ class Engine:
                 obs_next = (
                     now // observation.sample_interval + 1
                 ) * observation.sample_interval
-            index = heads[gpu_id]
-            base_vpn = streams[gpu_id][0][index]
-            is_write = streams[gpu_id][1][index]
-            vpn = base_vpn >> fold_shift
+            base_vpn, vpn, is_write = stage.next_access(gpu_id)
             if timeline is not None:
                 timeline.record(now, gpu_id, base_vpn, is_write)
             counters.record_access(is_write)
 
-            cycles = self._translate_and_access(
-                gpu_id,
-                node,
-                vpn,
-                is_write,
-                now,
-                local_access,
-                remote_access,
-                remote_penalty,
-                host_access,
-                host_penalty,
-                central_pt,
-                counters,
-                breakdown,
-                driver,
-                gps_writes,
+            cycles, parked = self._service_access(
+                gpu_id, node, vpn, is_write, now
             )
             node.clock = now + cycles + issue_gap
-
-            heads[gpu_id] = index + 1
-            if heads[gpu_id] >= lengths[gpu_id]:
+            if parked and service.should_drain(gpu_id):
+                node.clock += self._drain_faults(gpu_id, node)
+            if cursors[gpu_id].exhausted:
+                # End of stream: nothing left to overlap parked faults
+                # with, so flush this GPU's partial batch.
+                if not inline and service.pending(gpu_id):
+                    node.clock += self._drain_faults(gpu_id, node)
                 active.remove(gpu_id)
 
         return self._build_result()
 
-    def _translate_and_access(
+    def _service_access(
         self,
         gpu_id: int,
-        node,
+        node: "GpuNode",
         vpn: int,
         is_write: bool,
         now: int,
-        local_access: int,
-        remote_access: tuple[int, int],
-        remote_penalty: tuple[int, int],
-        host_access: tuple[int, int],
-        host_penalty: tuple[int, int],
-        central_pt,
-        counters,
-        breakdown,
-        driver,
-        gps_writes: bool,
-    ) -> int:
-        """One access: translation, faults, data; returns stall cycles.
+    ) -> tuple[int, bool]:
+        """Stages 1-2 of one access; returns ``(cycles, parked)``.
 
-        The far-access cost pairs are ``(read, write)`` — indexed by the
-        access's ``is_write`` flag — because far writes are posted.
+        ``parked`` is True when the access deposited a fault into the
+        GPU's buffer and its remainder (TLB fill, protection check,
+        data access) is deferred to the post-drain replay.
         """
-        pte, cycles, l2_missed = node.tlbs.lookup(vpn)
-        if l2_missed:
-            walk = node.walker.walk(vpn, now)
-            cycles += walk
-            breakdown.charge(LatencyCategory.LOCAL, walk)
-            counters.record_scheme_usage(central_pt.get(vpn).scheme)
-            pte = node.page_table.lookup(vpn)
+        outcome = self.stage.lookup(node, vpn, is_write, now)
+        cycles = outcome.cycles
+        pte = outcome.pte
+        if outcome.l2_missed:
             if pte is None:
-                cycles += driver.handle_local_fault(gpu_id, vpn, is_write)
+                serviced = self.fault_service.submit(
+                    gpu_id, vpn, is_write, now
+                )
+                if serviced is None:
+                    return cycles, True
+                cycles += serviced
                 pte = node.page_table.lookup(vpn)
                 if pte is None:
                     raise SimulationError(
@@ -212,7 +180,52 @@ class Engine:
                     )
                 if self.prefetcher is not None:
                     self.prefetcher.on_install(gpu_id, vpn)
-            node.tlbs.fill(vpn, pte)
+            node.fill_translation(vpn, pte)
+        cycles += self._finish_access(gpu_id, node, vpn, is_write, pte)
+        return cycles, False
+
+    def _drain_faults(self, gpu_id: int, node: "GpuNode") -> int:
+        """Stage 3 + replay: drain one GPU's buffer, finish accesses."""
+        cycles, records = self.fault_service.drain(gpu_id)
+        for event in records:
+            cycles += self._replay_access(
+                gpu_id, node, event.vpn, event.is_write
+            )
+        return cycles
+
+    def _replay_access(
+        self, gpu_id: int, node: "GpuNode", vpn: int, is_write: bool
+    ) -> int:
+        """Finish one parked access after its batch was serviced."""
+        cycles = 0
+        pte = node.page_table.lookup(vpn)
+        if pte is None:
+            # A later fault in the same batch evicted this page while
+            # being serviced; re-fault it inline.
+            cycles += self.driver.handle_local_fault(gpu_id, vpn, is_write)
+            pte = node.page_table.lookup(vpn)
+            if pte is None:
+                raise SimulationError(
+                    f"fault on vpn {vpn} left GPU {gpu_id} unmapped"
+                )
+        if self.prefetcher is not None:
+            self.prefetcher.on_install(gpu_id, vpn)
+        node.fill_translation(vpn, pte)
+        return cycles + self._finish_access(
+            gpu_id, node, vpn, is_write, pte
+        )
+
+    def _finish_access(
+        self,
+        gpu_id: int,
+        node: "GpuNode",
+        vpn: int,
+        is_write: bool,
+        pte: "LocalPTE",
+    ) -> int:
+        """Stage 4: protection check plus the data access itself."""
+        driver = self.driver
+        cycles = 0
         if is_write and not pte.writable:
             cycles += driver.handle_protection_fault(gpu_id, vpn)
             pte = node.page_table.lookup(vpn)
@@ -220,31 +233,34 @@ class Engine:
                 raise SimulationError(
                     f"collapse on vpn {vpn} left GPU {gpu_id} unwritable"
                 )
-            node.tlbs.fill(vpn, pte)
+            node.fill_translation(vpn, pte)
         # Data access: local DRAM, a peer GPU over NVLink, or host
         # memory over PCIe (counter-tracked pages before migration).
+        costs = self.costs
+        breakdown = self.machine.breakdown
         location = pte.location
         if location == gpu_id:
-            cycles += local_access
+            cycles += costs.local_access
             if is_write:
                 node.dram.mark_dirty(vpn)
             else:
                 node.dram.touch(vpn)
         elif location == HOST_NODE:
-            cycles += host_access[is_write]
+            cycles += costs.host_access[is_write]
             breakdown.charge(
-                LatencyCategory.REMOTE_ACCESS, host_penalty[is_write]
+                LatencyCategory.REMOTE_ACCESS, costs.host_penalty[is_write]
             )
             cycles += driver.on_remote_access(gpu_id, vpn)
         else:
-            cycles += remote_access[is_write]
+            cycles += costs.remote_access[is_write]
             breakdown.charge(
-                LatencyCategory.REMOTE_ACCESS, remote_penalty[is_write]
+                LatencyCategory.REMOTE_ACCESS,
+                costs.remote_penalty[is_write],
             )
             if is_write:
                 self.machine.gpus[location].dram.mark_dirty(vpn)
             cycles += driver.on_remote_access(gpu_id, vpn)
-        if gps_writes and is_write:
+        if self.policy.gps_semantics and is_write:
             cycles += driver.gps_write(gpu_id, vpn)
         return cycles
 
@@ -302,9 +318,17 @@ def simulate(
     policy: PlacementPolicy,
     prefetcher: "TreePrefetcher | None" = None,
     timeline: IntervalTimeline | None = None,
+    event_log: "EventLog | None" = None,
+    observation: RunObservation | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build an :class:`Engine` and run it."""
     engine = Engine(
-        config, trace, policy, prefetcher=prefetcher, timeline=timeline
+        config,
+        trace,
+        policy,
+        prefetcher=prefetcher,
+        timeline=timeline,
+        event_log=event_log,
+        observation=observation,
     )
     return engine.run()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.config import SystemConfig
 from repro.memsys.dram import DramDirectory
-from repro.memsys.page_table import LocalPageTable
+from repro.memsys.page_table import LocalPageTable, LocalPTE
 from repro.memsys.tlb import TLBHierarchy
 from repro.memsys.walker import PageTableWalker
 
@@ -29,6 +29,15 @@ class GpuNode:
         had_pte = self.page_table.invalidate(vpn)
         self.tlbs.invalidate(vpn)
         return had_pte
+
+    def fill_translation(self, vpn: int, pte: LocalPTE) -> None:
+        """Install a translation into the TLB hierarchy.
+
+        Called at the pipeline's stage boundaries: after a page-table
+        walk, after a fault resolution (inline or batch replay), and
+        after a protection-fault collapse rewrites the PTE.
+        """
+        self.tlbs.fill(vpn, pte)
 
     def flush_pipeline_and_tlbs(self) -> None:
         """Drain in-flight work and flush TLBs (migration/collapse)."""

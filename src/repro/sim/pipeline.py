@@ -1,0 +1,200 @@
+"""Engine-side stages of the fault-service pipeline.
+
+The access path is an explicit four-stage pipeline:
+
+1. **Translation** (:class:`TranslationStage`): pull the next access
+   off the GPU's stream cursor, fold it to the configured page size,
+   and walk the translation path (L1 TLB -> L2 TLB -> page-table
+   walk), producing a typed :class:`AccessOutcome`.
+2. **Fault buffering** (:class:`~repro.uvm.faults.FaultBuffer`):
+   accesses whose translation is missing deposit a fault; with
+   ``fault_batch_size == 1`` the deposit services immediately
+   (the classic inline path), otherwise it parks.
+3. **Fault service** (:class:`~repro.uvm.fault_service.FaultService`):
+   the driver drains one GPU's buffer as a batch, coalescing
+   duplicates and amortizing the host round trip.
+4. **Data access**: the engine charges the data-access latency by
+   where the page actually lives, using the precomputed
+   :class:`AccessCosts`.
+
+Stream cursors iterate the trace arrays in bounded chunks instead of
+materializing whole per-GPU streams up front, which keeps the
+simulator's memory at one trace copy plus a small window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from repro.constants import LatencyCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import LatencyModel
+    from repro.memsys.address import AddressSpace
+    from repro.memsys.page_table import LocalPTE
+    from repro.sim.gpu import GpuNode
+    from repro.uvm.machine import MachineState
+    from repro.workloads.base import WorkloadTrace
+
+#: Stream-cursor window: how many trace entries are materialized as
+#: plain Python scalars at a time.  Scalar indexing into numpy arrays
+#: is slow on the per-access hot path, so the cursor converts one
+#: bounded chunk at a time — fast iteration without the 2x trace
+#: memory of a full ``tolist()``.
+CURSOR_CHUNK = 8192
+
+
+@dataclasses.dataclass(slots=True)
+class AccessOutcome:
+    """What the translation stage produced for one access.
+
+    ``pte is None`` means the access needs a local page fault serviced
+    before it can proceed; ``l2_missed`` records whether the TLB
+    hierarchy must be refilled once a translation exists.
+    """
+
+    vpn: int
+    is_write: bool
+    cycles: int
+    pte: "LocalPTE | None"
+    l2_missed: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessCosts:
+    """Precomputed per-access latency charges (one per simulation).
+
+    Far-access cost pairs are ``(read, write)`` — indexed by the
+    access's ``is_write`` flag — because far writes are posted
+    (fire-and-forget stores) and stall for roughly half a read's
+    round trip.
+    """
+
+    local_access: int
+    remote_access: Tuple[int, int]
+    remote_penalty: Tuple[int, int]
+    host_access: Tuple[int, int]
+    host_penalty: Tuple[int, int]
+
+    @classmethod
+    def from_latency(cls, latency: "LatencyModel") -> "AccessCosts":
+        """Derive the charge table from a config's latency model."""
+        local = latency.scaled_data_access(latency.local_dram_access)
+        remote = (
+            latency.scaled_remote_access(),
+            max(1, latency.scaled_remote_access() // 2),
+        )
+        host = (
+            latency.scaled_host_remote_access(),
+            max(1, latency.scaled_host_remote_access() // 2),
+        )
+        return cls(
+            local_access=local,
+            remote_access=remote,
+            remote_penalty=tuple(
+                max(0, cost - local) for cost in remote
+            ),
+            host_access=host,
+            host_penalty=tuple(
+                max(0, cost - local) for cost in host
+            ),
+        )
+
+
+class StreamCursor:
+    """Chunked cursor over one GPU's (vpns, writes) trace arrays."""
+
+    __slots__ = (
+        "_vpns",
+        "_writes",
+        "length",
+        "position",
+        "_chunk_vpns",
+        "_chunk_writes",
+        "_chunk_base",
+    )
+
+    def __init__(self, vpns: np.ndarray, writes: np.ndarray) -> None:
+        self._vpns = vpns
+        self._writes = writes
+        self.length = len(vpns)
+        self.position = 0
+        self._chunk_vpns: List[int] = []
+        self._chunk_writes: List[bool] = []
+        self._chunk_base = 0
+        if self.length:
+            self._load_chunk(0)
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every access has been consumed."""
+        return self.position >= self.length
+
+    def _load_chunk(self, base: int) -> None:
+        end = min(base + CURSOR_CHUNK, self.length)
+        self._chunk_base = base
+        self._chunk_vpns = self._vpns[base:end].tolist()
+        self._chunk_writes = self._writes[base:end].tolist()
+
+    def next(self) -> Tuple[int, bool]:
+        """Consume and return the next ``(vpn, is_write)`` pair."""
+        position = self.position
+        if position >= self.length:
+            raise IndexError("stream cursor exhausted")
+        offset = position - self._chunk_base
+        if offset >= len(self._chunk_vpns):
+            self._load_chunk(position)
+            offset = 0
+        self.position = position + 1
+        return self._chunk_vpns[offset], self._chunk_writes[offset]
+
+
+class TranslationStage:
+    """Stage 1: stream cursors plus the TLB/walk translation path."""
+
+    def __init__(
+        self,
+        machine: "MachineState",
+        trace: "WorkloadTrace",
+        address_space: "AddressSpace",
+    ) -> None:
+        self.machine = machine
+        self.fold_shift = (
+            address_space.base_pages_per_page.bit_length() - 1
+        )
+        self.cursors = [
+            StreamCursor(vpns, writes) for vpns, writes in trace.streams
+        ]
+
+    def next_access(self, gpu_id: int) -> Tuple[int, int, bool]:
+        """Next ``(base_vpn, folded_vpn, is_write)`` of one GPU."""
+        base_vpn, is_write = self.cursors[gpu_id].next()
+        return base_vpn, base_vpn >> self.fold_shift, is_write
+
+    def lookup(
+        self, node: "GpuNode", vpn: int, is_write: bool, now: int
+    ) -> AccessOutcome:
+        """Walk the translation path for one access.
+
+        L1/L2 TLB lookup, then on an L2 miss a page-table walk (the
+        walk also tallies the touched page's current scheme for the
+        Figure 19 breakdown) and a local-page-table lookup whose
+        ``None`` result signals a page fault to the fault stages.
+        """
+        machine = self.machine
+        pte, cycles, l2_missed = node.tlbs.lookup(vpn)
+        if l2_missed:
+            walk = node.walker.walk(vpn, now)
+            cycles += walk
+            machine.breakdown.charge(LatencyCategory.LOCAL, walk)
+            machine.counters.record_scheme_usage(
+                machine.central_pt.get(vpn).scheme
+            )
+            pte = node.page_table.lookup(vpn)
+        return AccessOutcome(vpn, is_write, cycles, pte, l2_missed)

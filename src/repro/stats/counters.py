@@ -32,6 +32,13 @@ class EventCounters:
         self.group_promotions = 0
         self.group_degradations = 0
         self.prefetches = 0
+        #: Fault batches drained through the batched service path
+        #: (zero when ``fault_batch_size`` is 1: the inline path never
+        #: forms batches).
+        self.fault_batches = 0
+        #: Duplicate (gpu, vpn) deposits coalesced away during batch
+        #: drains; each saved a redundant fault resolution.
+        self.coalesced_faults = 0
         #: Accesses that missed the L2 TLB, bucketed by the scheme the
         #: touched page was using at that moment (Figure 19).
         self.scheme_usage: Dict[Scheme, int] = {s: 0 for s in Scheme}
@@ -102,4 +109,6 @@ class EventCounters:
             "group_promotions": self.group_promotions,
             "group_degradations": self.group_degradations,
             "prefetches": self.prefetches,
+            "fault_batches": self.fault_batches,
+            "coalesced_faults": self.coalesced_faults,
         }

@@ -3,15 +3,26 @@
 Every local page fault and page protection fault travels over PCIe to
 the host, where the driver walks the centralized page table, consults
 the placement policy (step 2-4 of Figure 16 for GRIT), and resolves the
-fault with the mechanic the page's scheme demands: on-touch migration,
-remote mapping with access counters, or duplication / write collapse.
-First-touch pinning, GPS publish-subscribe, and the Ideal bound are
-additional mechanics used by the comparator policies.
+fault with the mechanic the page's scheme demands.  Mechanic selection
+goes through the :class:`~repro.uvm.executor.MechanicExecutor` dispatch
+registry (on-touch migration, remote mapping with access counters,
+duplication / write collapse, plus the comparator policies' first-touch
+pinning, GPS publish-subscribe, and the Ideal bound).
+
+Faults arrive through two entry points: :meth:`handle_local_fault`
+services one fault synchronously (the classic inline path), and
+:meth:`service_fault_batch` drains one GPU's replayable fault buffer —
+one amortized host-service charge per batch, duplicate (gpu, vpn)
+entries coalesced — which is how real drivers win back fault-service
+latency.  The :class:`~repro.uvm.fault_service.FaultService` built by
+the driver decides which path each fault takes.
 """
 
 from __future__ import annotations
 
 import functools
+
+from typing import Sequence
 
 from repro.constants import (
     HOST_NODE,
@@ -23,15 +34,22 @@ from repro.stats.events import EventKind
 from repro.memsys.page import PageInfo
 from repro.policies.base import Mechanic, PlacementPolicy
 from repro.uvm.duplication import DuplicationEngine
+from repro.uvm.executor import MechanicExecutor
+from repro.uvm.fault_service import FaultService
+from repro.uvm.faults import FaultEvent
 from repro.uvm.machine import MachineState
 from repro.uvm.migration import MigrationEngine
 from repro.uvm.sanitizer import MachineSanitizer, sanitizer_enabled
 
 #: Driver entry points the sanitizer sweeps after (each one is a
 #: complete UVM operation; internals may be transiently inconsistent).
+#: These are the stage boundaries of the fault pipeline: inline fault
+#: service, batched fault service, and the remote-access/GPS/prefetch
+#: side doors.
 _SANITIZED_OPERATIONS = (
     "handle_local_fault",
     "handle_protection_fault",
+    "service_fault_batch",
     "on_remote_access",
     "gps_write",
     "prefetch_page",
@@ -50,6 +68,18 @@ class UvmDriver:
         self.policy = policy
         self.migration = MigrationEngine(machine)
         self.duplication = DuplicationEngine(machine, self.migration)
+        self.mechanics = MechanicExecutor(self)
+        policy.register_mechanics(self.mechanics)
+        missing = policy.mechanics - self.mechanics.registered()
+        if missing:
+            names = ", ".join(sorted(m.name for m in missing))
+            raise PolicyError(
+                f"policy {policy.name!r} declares mechanics with no "
+                f"registered executor: {names}"
+            )
+        self.fault_service = FaultService(
+            self, batch_size=machine.config.fault_batch_size
+        )
         self.sanitizer: MachineSanitizer | None = None
         if sanitizer_enabled(machine.config):
             self.sanitizer = MachineSanitizer(
@@ -103,13 +133,18 @@ class UvmDriver:
         gpus = self.machine.gpus
 
         @functools.wraps(operation)
-        def wrapper(gpu, vpn, *args, **kwargs):
+        def wrapper(gpu, target, *args, **kwargs):
             tracer.op_begin(name, gpu, gpus[gpu].clock)
-            result = operation(gpu, vpn, *args, **kwargs)
+            result = operation(gpu, target, *args, **kwargs)
             # prefetch_page returns bool (a subclass of int); only true
             # cycle counts become span durations.
             duration = result if type(result) is int else 0
-            tracer.op_end(duration, vpn=vpn)
+            # Per-page operations carry the vpn; batch operations (the
+            # target is the fault sequence) carry the batch size.
+            if isinstance(target, int):
+                tracer.op_end(duration, vpn=target)
+            else:
+                tracer.op_end(duration, faults=len(target))
             return result
 
         return wrapper
@@ -123,13 +158,17 @@ class UvmDriver:
         m = self.machine
         page = m.central_pt.get(vpn)
         if self.policy.mechanic_for(page) is Mechanic.IDEAL:
-            return self._resolve_ideal(gpu, page, is_write)
+            return self.mechanics.execute(Mechanic.IDEAL, gpu, page, is_write)
         m.counters.record_fault(FaultKind.LOCAL_PAGE_FAULT, gpu)
-        cycles = self._host_service(gpu)
+        cycles = self.host_service(gpu)
         cycles += self._observe_fault(
             gpu, vpn, FaultKind.LOCAL_PAGE_FAULT, is_write
         )
-        cycles += self._resolve(gpu, page, is_write)
+        # The policy hook may have rewritten the page's scheme bits
+        # (GRIT's PA path), so the mechanic is re-read after it runs.
+        cycles += self.mechanics.execute(
+            self.policy.mechanic_for(page), gpu, page, is_write
+        )
         if m.event_log is not None:
             m.event_log.emit(
                 EventKind.LOCAL_FAULT, vpn, gpu, detail=int(is_write),
@@ -137,12 +176,60 @@ class UvmDriver:
             )
         return cycles
 
+    def service_fault_batch(
+        self, gpu: int, batch: Sequence[FaultEvent]
+    ) -> int:
+        """Drain one GPU's fault buffer as a single driver batch.
+
+        Duplicate (gpu, vpn) deposits coalesce into one serviced fault
+        (a write anywhere in the batch services as a write), and the
+        PCIe round trip plus UVM software service time is charged once
+        for the whole batch — the amortization real drivers get from
+        batched buffer drains.  Returns the total stall cycles.
+        """
+        m = self.machine
+        coalesced: dict[int, FaultEvent] = {}
+        for record in batch:
+            prior = coalesced.get(record.vpn)
+            if prior is None:
+                coalesced[record.vpn] = record
+            else:
+                coalesced[record.vpn] = prior.merged_with(record)
+                m.counters.coalesced_faults += 1
+        m.counters.fault_batches += 1
+        cycles = self.host_service(gpu)
+        for record in coalesced.values():
+            page = m.central_pt.get(record.vpn)
+            if self.policy.mechanic_for(page) is Mechanic.IDEAL:
+                cycles += self.mechanics.execute(
+                    Mechanic.IDEAL, gpu, page, record.is_write
+                )
+                continue
+            m.counters.record_fault(FaultKind.LOCAL_PAGE_FAULT, gpu)
+            fault_cycles = self._observe_fault(
+                gpu, record.vpn, FaultKind.LOCAL_PAGE_FAULT, record.is_write
+            )
+            # Re-read after the policy hook: it may rewrite scheme bits.
+            fault_cycles += self.mechanics.execute(
+                self.policy.mechanic_for(page), gpu, page, record.is_write
+            )
+            cycles += fault_cycles
+            if m.event_log is not None:
+                m.event_log.emit(
+                    EventKind.LOCAL_FAULT,
+                    record.vpn,
+                    gpu,
+                    detail=int(record.is_write),
+                    cycles=fault_cycles,
+                )
+        return cycles
+
     def handle_protection_fault(self, gpu: int, vpn: int) -> int:
         """Resolve a write that hit a read-only (duplicated) translation."""
         m = self.machine
         m.counters.record_fault(FaultKind.PAGE_PROTECTION_FAULT, gpu)
         page = m.central_pt.get(vpn)
-        cycles = self._host_service(gpu)
+        cycles = self.host_service(gpu)
         cycles += self._observe_fault(
             gpu, vpn, FaultKind.PAGE_PROTECTION_FAULT, True
         )
@@ -167,7 +254,7 @@ class UvmDriver:
             return 0
         # Threshold reached: the driver broadcasts invalidations and
         # migrates the page toward the counting GPU (Section II-B2).
-        cycles = self._host_service(gpu)
+        cycles = self.host_service(gpu)
         cycles += self.migration.migrate(
             page, gpu, flush_scale=self.policy.flush_scale
         )
@@ -212,10 +299,10 @@ class UvmDriver:
         return True
 
     # ------------------------------------------------------------------
-    # internals
+    # shared charges (used by the executors and the entry points)
     # ------------------------------------------------------------------
 
-    def _host_service(self, gpu: int) -> int:
+    def host_service(self, gpu: int) -> int:
         """PCIe hop plus UVM software service time, charged to Host."""
         m = self.machine
         cycles = m.topology.control_message(gpu, HOST_NODE)
@@ -225,6 +312,18 @@ class UvmDriver:
         )
         m.breakdown.charge(LatencyCategory.HOST, cycles)
         return cycles
+
+    def charge_collapse(self, page: PageInfo) -> int:
+        """Drop a page's replicas, charging the invalidation latency."""
+        cycles = self.duplication.drop_replicas(
+            page, flush_scale=self.policy.flush_scale
+        )
+        self.machine.breakdown.charge(LatencyCategory.WRITE_COLLAPSE, cycles)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
 
     def _observe_fault(
         self, gpu: int, vpn: int, kind: FaultKind, is_write: bool
@@ -237,7 +336,7 @@ class UvmDriver:
             self.machine.breakdown.charge(LatencyCategory.HOST, cycles)
         for changed_vpn in observation.collapse_charged:
             page = self.machine.central_pt.get(changed_vpn)
-            cycles += self._charge_collapse(page)
+            cycles += self.charge_collapse(page)
         for changed_vpn in observation.collapse_background:
             page = self.machine.central_pt.get(changed_vpn)
             # Neighbor-propagated transitions happen in the background;
@@ -245,140 +344,4 @@ class UvmDriver:
             self.duplication.drop_replicas(
                 page, flush_scale=self.policy.flush_scale
             )
-        return cycles
-
-    def _charge_collapse(self, page: PageInfo) -> int:
-        cycles = self.duplication.drop_replicas(
-            page, flush_scale=self.policy.flush_scale
-        )
-        self.machine.breakdown.charge(LatencyCategory.WRITE_COLLAPSE, cycles)
-        return cycles
-
-    def _resolve(self, gpu: int, page: PageInfo, is_write: bool) -> int:
-        """Apply the page's mechanic to resolve a local fault."""
-        mechanic = self.policy.mechanic_for(page)
-        flush_scale = self.policy.flush_scale
-        if mechanic is Mechanic.ON_TOUCH:
-            cycles = self.migration.migrate(page, gpu, flush_scale=flush_scale)
-            if is_write:
-                page.dirty = True
-                page.ever_written = True
-                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
-            return cycles
-        if mechanic is Mechanic.ACCESS_COUNTER:
-            # Counter-based migration never migrates eagerly: even a
-            # first touch maps the page where it lives (host memory) and
-            # lets the access counters earn the migration (Section
-            # II-B2).
-            return self._resolve_remote_map(
-                gpu, page, is_write, flush_scale, place_on_first_touch=False
-            )
-        if mechanic is Mechanic.PEER_REMOTE:
-            # First-touch pins the page at its first toucher.
-            return self._resolve_remote_map(
-                gpu, page, is_write, flush_scale, place_on_first_touch=True
-            )
-        if mechanic is Mechanic.DUPLICATION:
-            return self._resolve_duplication(gpu, page, is_write, flush_scale)
-        if mechanic is Mechanic.GPS:
-            return self._resolve_gps(gpu, page, is_write, flush_scale)
-        if mechanic is Mechanic.IDEAL:
-            return self._resolve_ideal(gpu, page, is_write)
-        raise PolicyError(f"unknown mechanic {mechanic!r}")
-
-    def _resolve_remote_map(
-        self,
-        gpu: int,
-        page: PageInfo,
-        is_write: bool,
-        flush_scale: float,
-        place_on_first_touch: bool,
-    ) -> int:
-        """AC / first-touch: establish a (possibly remote) mapping."""
-        if page.owner == HOST_NODE and place_on_first_touch:
-            if is_write:
-                page.dirty = True
-                page.ever_written = True
-            cycles = self.migration.place_from_host(
-                page, gpu, LatencyCategory.PAGE_MIGRATION, flush_scale
-            )
-            if is_write:
-                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
-            return cycles
-        if page.replicas:
-            # Stale replicas from a previous duplication lifetime would
-            # break coherence under remote write mappings; drop them.
-            self._charge_collapse(page)
-        self.machine.gpus[gpu].page_table.map(
-            page.vpn, page.owner, writable=True
-        )
-        if is_write:
-            page.ever_written = True
-            if page.owner != HOST_NODE:
-                page.dirty = True
-                self.machine.gpus[page.owner].dram.mark_dirty(page.vpn)
-        return 0
-
-    def _resolve_duplication(
-        self, gpu: int, page: PageInfo, is_write: bool, flush_scale: float
-    ) -> int:
-        if page.owner == HOST_NODE:
-            if is_write:
-                page.dirty = True
-                page.ever_written = True
-            # Copy-on-write: read placements map read-only so a later
-            # write raises a protection fault (Section II-B3).
-            cycles = self.migration.place_from_host(
-                page,
-                gpu,
-                LatencyCategory.PAGE_DUPLICATION,
-                flush_scale,
-                writable=is_write,
-            )
-            if is_write:
-                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
-            return cycles
-        if is_write:
-            # Faulting write by a GPU with no copy: collapse-with-move.
-            return self.duplication.collapse_to_writer(
-                page, gpu, flush_scale=flush_scale
-            )
-        return self.duplication.duplicate(page, gpu, flush_scale=flush_scale)
-
-    def _resolve_gps(
-        self, gpu: int, page: PageInfo, is_write: bool, flush_scale: float
-    ) -> int:
-        if page.owner == HOST_NODE:
-            if is_write:
-                page.dirty = True
-                page.ever_written = True
-            cycles = self.migration.place_from_host(
-                page, gpu, LatencyCategory.PAGE_DUPLICATION, flush_scale
-            )
-            if is_write:
-                self.machine.gpus[gpu].dram.mark_dirty(page.vpn)
-            return cycles
-        # Subscribe: a writable replica.  The write broadcast itself is
-        # charged uniformly by the engine for every GPS write.
-        return self.duplication.duplicate(
-            page, gpu, writable_replica=True, flush_scale=flush_scale
-        )
-
-    def _resolve_ideal(self, gpu: int, page: PageInfo, is_write: bool) -> int:
-        """The paper's Ideal: only the first cold touch pays anything."""
-        m = self.machine
-        cycles = 0
-        if page.owner == HOST_NODE:
-            # The one cost Ideal pays: the first cold touch of a page.
-            cycles = self._host_service(gpu)
-            transfer = m.topology.transfer(HOST_NODE, gpu, m.config.page_size)
-            m.breakdown.charge(LatencyCategory.PAGE_MIGRATION, transfer)
-            cycles += transfer
-            page.owner = gpu
-        else:
-            page.replicas.add(gpu)
-        if is_write:
-            page.dirty = True
-            page.ever_written = True
-        m.gpus[gpu].page_table.map(page.vpn, gpu, writable=True)
         return cycles

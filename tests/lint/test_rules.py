@@ -358,3 +358,61 @@ class TestMetricCatalogRule:
         engine = LintEngine(pkg, repo_root=tmp_path)
         found = ids(engine.run(paths=[]))
         assert found.count("GRIT-C005") == 2
+
+
+def _write_mechanic_package(tmp_path, executor_body):
+    """Minimal fake package exercising the mechanic-executor rule."""
+    pkg = tmp_path / "pkg"
+    (pkg / "policies").mkdir(parents=True)
+    (pkg / "uvm").mkdir()
+    (pkg / "policies" / "__init__.py").write_text("")
+    (pkg / "policies" / "registry.py").write_text("_FACTORIES = {}\n")
+    (pkg / "policies" / "base.py").write_text(
+        "import enum\n\n\n"
+        "class Mechanic(enum.Enum):\n"
+        "    ON_TOUCH = 'on_touch'\n"
+        "    DUPLICATION = 'duplication'\n"
+    )
+    (pkg / "uvm" / "executor.py").write_text(executor_body)
+    (tmp_path / "README.md").write_text("")
+    return pkg
+
+
+class TestMechanicExecutorRule:
+    COVERED = (
+        "from pkg.policies.base import Mechanic\n\n\n"
+        "@executes(Mechanic.ON_TOUCH)\n"
+        "def execute_on_touch(driver, gpu, page, is_write):\n"
+        "    return 0\n\n\n"
+        "def wire(executor):\n"
+        "    executor.register(Mechanic.DUPLICATION, execute_on_touch)\n"
+    )
+    PARTIAL = (
+        "from pkg.policies.base import Mechanic\n\n\n"
+        "@executes(Mechanic.ON_TOUCH)\n"
+        "def execute_on_touch(driver, gpu, page, is_write):\n"
+        "    return 0\n"
+    )
+
+    def test_member_without_executor_is_flagged(self, tmp_path):
+        pkg = _write_mechanic_package(tmp_path, self.PARTIAL)
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        findings = [
+            finding
+            for finding in engine.run(paths=[])
+            if finding.rule_id == "GRIT-C006"
+        ]
+        assert len(findings) == 1
+        assert "Mechanic.DUPLICATION" in findings[0].message
+        assert findings[0].path == "policies/base.py"
+
+    def test_decorator_and_register_both_count(self, tmp_path):
+        pkg = _write_mechanic_package(tmp_path, self.COVERED)
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        assert "GRIT-C006" not in ids(engine.run(paths=[]))
+
+    def test_no_mechanic_enum_degrades_to_noop(self, tmp_path):
+        pkg = _write_mechanic_package(tmp_path, self.PARTIAL)
+        (pkg / "policies" / "base.py").write_text("class Other: pass\n")
+        engine = LintEngine(pkg, repo_root=tmp_path)
+        assert "GRIT-C006" not in ids(engine.run(paths=[]))
