@@ -1,0 +1,56 @@
+"""Sweep-orchestrator throughput: inline vs worker processes.
+
+Times the same headline slice of the Figure 17 sweep executed inline
+(workers=1) and through the process pool (workers=2), and asserts the
+two produce bit-identical result digests — the orchestrator must never
+buy wall-clock speed with divergent results.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.orchestrator import result_digest, run_sweep
+
+WORKLOADS = ("fir", "st", "bfs", "gemm")
+POLICIES = ("on_touch", "grit")
+
+
+def _keys():
+    runner = ExperimentRunner(scale=BENCH_SCALE)
+    return [
+        runner.key(workload, policy)
+        for workload in WORKLOADS
+        for policy in POLICIES
+    ]
+
+
+def _digests(summary):
+    return {
+        key: result_digest(result)
+        for key, result in summary.results.items()
+    }
+
+
+def test_sweep_inline(benchmark):
+    summary = benchmark.pedantic(
+        lambda: run_sweep(_keys(), workers=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.failures == 0
+    test_sweep_inline.digests = _digests(summary)
+
+
+def test_sweep_two_workers_matches_inline(benchmark):
+    summary = benchmark.pedantic(
+        lambda: run_sweep(_keys(), workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.failures == 0
+    print()
+    print(summary.render())
+    inline = getattr(test_sweep_inline, "digests", None)
+    if inline is not None:  # benchmarks may be filtered individually
+        assert _digests(summary) == inline

@@ -6,8 +6,9 @@ Commands:
 * ``run`` — simulate one (workload, policy) pair and print the summary.
 * ``figure`` — regenerate paper figures (text / JSON / CSV, optional
   disk cache).
-* ``sweep`` — tabulate a workload x policy matrix (optionally
-  process-parallel).
+* ``sweep`` — tabulate a workload x policy matrix through the
+  resilient sweep orchestrator (parallel workers, per-task timeout,
+  retry with backoff, shared disk cache, crash injection for drills).
 * ``report`` — write the full markdown reproduction report (+ SVG
   charts).
 * ``characterize`` — print a workload's sharing/RW characterization.
@@ -23,6 +24,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -169,6 +171,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="export a trace + metrics file per simulated run into DIR",
     )
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-warm the figure runs over this many sweep workers",
+    )
 
     dump = sub.add_parser(
         "dump-trace", help="generate a workload trace and save it as .npz"
@@ -208,6 +216,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metric",
         choices=["speedup", "cycles", "faults"],
         default="speedup",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget (parallel workers only)",
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-attempts per task after a crash/timeout/error",
+    )
+    sweep.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="shared on-disk result cache for the sweep workers",
+    )
+    sweep.add_argument(
+        "--summary-json",
+        metavar="PATH",
+        default=None,
+        help="write the sweep summary (retries, failures, per-key "
+        "result digests) as JSON to PATH",
+    )
+    sweep.add_argument(
+        "--inject-crash",
+        metavar="WORKLOAD:POLICY",
+        default=None,
+        help="chaos drill: crash the first attempt of one task and "
+        "verify the orchestrator retries it",
     )
 
     lint = sub.add_parser(
@@ -472,7 +513,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     runner = _build_runner(args.scale, args.cache, args.artifacts)
     text = generate_report(
-        scale=args.scale, runner=runner, charts_dir=args.charts
+        scale=args.scale,
+        runner=runner,
+        charts_dir=args.charts,
+        workers=args.workers,
     )
     with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(text)
@@ -512,8 +556,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.harness.experiment import PAPER_APPS, ExperimentRunner
-    from repro.harness.parallel import warm_runner_parallel
+    import json
+
+    from repro.harness.experiment import PAPER_APPS
+    from repro.harness.orchestrator import run_sweep
 
     workloads = (
         list(PAPER_APPS)
@@ -529,14 +575,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     if args.baseline not in policies:
         policies = [args.baseline, *policies]
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _build_runner(args.scale, args.cache)
     keys = [
         runner.key(workload, policy, num_gpus=args.gpus)
         for workload in workloads
         for policy in policies
     ]
-    if args.workers > 1:
-        warm_runner_parallel(runner, keys, workers=args.workers)
+    summary = run_sweep(
+        keys,
+        base_config=runner.base_config,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=args.cache,
+        injections=_sweep_injections(args, keys),
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    runner._cache.update(summary.results)
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            json.dump(summary.to_dict(), handle, indent=2)
+        print(f"wrote {args.summary_json}", file=sys.stderr)
+    if summary.failed_keys():
+        print(summary.render(), file=sys.stderr)
+        for key in summary.failed_keys():
+            print(
+                f"error: {key.workload}/{key.policy} failed after "
+                f"retries",
+                file=sys.stderr,
+            )
+        return 1
     rows = {}
     for workload in workloads:
         base = runner.run(
@@ -559,7 +627,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             policies, rows, row_header=f"{args.metric} @{args.gpus}g"
         )
     )
+    print(summary.render(), file=sys.stderr)
     return 0
+
+
+def _sweep_injections(args: argparse.Namespace, keys):
+    """Build the --inject-crash failure map (None when unused)."""
+    if not args.inject_crash:
+        return None
+    import tempfile
+
+    from repro.harness.orchestrator import FaultInjection
+
+    try:
+        workload, policy = args.inject_crash.split(":", 1)
+    except ValueError:
+        raise SystemExit(
+            "--inject-crash expects WORKLOAD:POLICY"
+        ) from None
+    targets = [
+        key
+        for key in keys
+        if key.workload == workload and key.policy == policy
+    ]
+    if not targets:
+        raise SystemExit(
+            f"--inject-crash target {args.inject_crash!r} is not in "
+            f"the sweep"
+        )
+    marker_dir = tempfile.mkdtemp(prefix="grit-inject-")
+    return {
+        targets[0]: FaultInjection(
+            marker_path=os.path.join(marker_dir, "fired"), mode="crash"
+        )
+    }
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -36,7 +36,12 @@ class PACache:
         self.hits = 0
         self.misses = 0
         self.table_fills = 0
+        #: Evictions/flushes of entries *modified* since fill — the
+        #: write-allocate + write-back traffic the paper accounts for.
+        #: Clean victims restore the table copy silently.
         self.writebacks = 0
+        #: Entries dropped by :meth:`delete` (scheme changes).
+        self.deletes = 0
 
     def _set_for(self, vpn: int) -> OrderedDict[int, PAEntry]:
         return self._sets[vpn & self._set_mask]
@@ -59,6 +64,8 @@ class PACache:
         entry = self.backing.take(vpn)
         if entry is not None:
             self.table_fills += 1
+            # Fresh from the backing table: clean until modified.
+            entry.dirty = False
         else:
             entry = PAEntry(vpn=vpn)
         self._fill(vpn, entry)
@@ -68,14 +75,28 @@ class PACache:
         entries = self._set_for(vpn)
         if len(entries) >= self.ways:
             _, victim = entries.popitem(last=False)
-            self.backing.insert(victim)
-            self.writebacks += 1
+            self._writeback(victim)
         entries[vpn] = entry
+
+    def _writeback(self, victim: PAEntry) -> None:
+        """Return a victim to the table; count it only when dirty.
+
+        A clean victim matches what the table last saw (or is an
+        untouched all-zero entry, which carries no information), so
+        restoring it is free — only entries modified since fill are
+        write-back traffic.
+        """
+        if victim.dirty:
+            victim.dirty = False
+            self.writebacks += 1
+        self.backing.insert(victim)
 
     def delete(self, vpn: int) -> None:
         """Drop an entry from cache *and* table (scheme change fired)."""
-        self._set_for(vpn).pop(vpn, None)
-        self.backing.remove(vpn)
+        cached = self._set_for(vpn).pop(vpn, None)
+        removed = self.backing.remove(vpn)
+        if cached is not None or removed is not None:
+            self.deletes += 1
 
     def __len__(self) -> int:
         return sum(len(entries) for entries in self._sets)
@@ -85,5 +106,4 @@ class PACache:
         for entries in self._sets:
             while entries:
                 _, victim = entries.popitem(last=False)
-                self.backing.insert(victim)
-                self.writebacks += 1
+                self._writeback(victim)

@@ -39,12 +39,19 @@ class PAEntry:
     vpn: int
     rw_bit: int = 0
     fault_counter: int = 0
+    #: Modified since the PA-Cache last filled or wrote it back; not
+    #: part of the architectural 48-bit word (excluded from equality
+    #: and :meth:`encode`).
+    dirty: bool = dataclasses.field(
+        default=False, compare=False, repr=False
+    )
 
     def record_fault(self, is_write: bool) -> None:
         """Apply one fault: bump the counter, make the RW bit sticky."""
         self.fault_counter += 1
         if is_write:
             self.rw_bit = 1
+        self.dirty = True
 
     def encode(self) -> int:
         """Pack into the 48-bit hardware word of Figure 12.

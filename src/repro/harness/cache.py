@@ -7,7 +7,12 @@ repeated CLI invocations and benchmark reruns skip simulation.
 
 Keys include a fingerprint of the base configuration, so changing any
 latency constant or Table I parameter invalidates the cache
-automatically.  Stored entries are rehydrated into
+automatically.  Entries additionally carry a ``schema_version``;
+entries written by a different schema (renamed counters, new latency
+categories) are treated as misses rather than silently rehydrated with
+missing fields.  Writes go through a temp file plus an atomic rename,
+so concurrent sweep workers sharing one cache directory never observe
+a torn JSON file.  Stored entries are rehydrated into
 :class:`SimulationResult` objects with empty ``details`` marked
 ``from_cache`` — figure code only reads counters/breakdown/cycles, all
 of which round-trip exactly.
@@ -28,6 +33,17 @@ from repro.sim.result import SimulationResult
 from repro.stats.counters import EventCounters
 from repro.stats.latency import LatencyBreakdown
 
+#: Cache entry schema version.  Bump whenever the serialized shape
+#: changes — a new/renamed :class:`EventCounters` field, a new
+#: :class:`LatencyBreakdown` category, or a new top-level key — so
+#: entries written by older code are rejected as misses instead of
+#: rehydrating with silently-missing counters.
+SCHEMA_VERSION = 2
+
+
+class StaleCacheEntry(ValueError):
+    """A cache file does not match the current result schema."""
+
 
 def config_fingerprint(config: SystemConfig) -> str:
     """Stable hash of every configuration value."""
@@ -45,6 +61,7 @@ def _key_filename(key: RunKey, fingerprint: str) -> str:
 
 def _serialize(result: SimulationResult) -> Dict[str, object]:
     return {
+        "schema_version": SCHEMA_VERSION,
         "workload": result.workload,
         "policy": result.policy,
         "total_cycles": result.total_cycles,
@@ -64,10 +81,20 @@ def _serialize(result: SimulationResult) -> Dict[str, object]:
 
 
 def _deserialize(data: Dict[str, object]) -> SimulationResult:
+    if data.get("schema_version") != SCHEMA_VERSION:
+        raise StaleCacheEntry(
+            f"cache entry schema {data.get('schema_version')!r} != "
+            f"current {SCHEMA_VERSION}"
+        )
     counters = EventCounters()
     stored = dict(data["counters"])
     stored.pop("total_faults", None)  # derived property
+    known = vars(counters)
     for name, value in stored.items():
+        if name not in known:
+            raise StaleCacheEntry(
+                f"cache entry has unknown counter {name!r}"
+            )
         setattr(counters, name, value)
     counters.scheme_usage = {
         Scheme[name]: count
@@ -117,14 +144,39 @@ class DiskCachedRunner(ExperimentRunner):
         path = os.path.join(
             self.cache_dir, _key_filename(key, self._fingerprint)
         )
-        if os.path.exists(path):
-            with open(path, "r", encoding="utf-8") as handle:
-                result = _deserialize(json.load(handle))
+        result = self._load(path)
+        if result is not None:
             self._cache[key] = result
             self.disk_hits += 1
             return result
         result = super().run(key)
         self.disk_misses += 1
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(_serialize(result), handle)
+        self._store(path, result)
         return result
+
+    def _load(self, path: str) -> SimulationResult | None:
+        """Rehydrate one entry; stale/torn/missing files are misses."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError):
+            return None
+        try:
+            return _deserialize(data)
+        except (StaleCacheEntry, KeyError, TypeError):
+            return None
+
+    def _store(self, path: str, result: SimulationResult) -> None:
+        """Atomic tmp-file + rename write, safe under concurrency.
+
+        Concurrent workers may race on the same key; each writes its
+        own temp file and the last rename wins.  Runs are
+        deterministic, so every racer renames identical bytes — a
+        reader can never observe a torn entry.
+        """
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(_serialize(result), handle)
+        os.replace(tmp, path)

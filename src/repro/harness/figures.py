@@ -22,6 +22,7 @@ from repro.analysis import (
 from repro.harness.experiment import (
     PAPER_APPS,
     ExperimentRunner,
+    RunKey,
     geometric_mean,
 )
 from repro.workloads import make_workload
@@ -851,3 +852,25 @@ def run_figure(
             f"unknown figure {name!r}; available: {sorted(FIGURES)}"
         ) from None
     return builder(runner or ExperimentRunner())
+
+
+def warmup_keys(runner: ExperimentRunner) -> List[RunKey]:
+    """Keys behind the hottest shared figure runs, for pre-warming.
+
+    Covers the headline Figures 1/17/18/19 matrix plus the Figure 20
+    component-ablation variants — the runs most figure functions
+    share.  Figure-specific sweeps (GPU scaling, thresholds, ...) are
+    cheap by comparison and simulate lazily.
+    """
+    from repro.harness.parallel import headline_keys
+
+    keys = headline_keys(runner)
+    ablation_variants = (
+        dict(use_pa_cache=False, use_neighbor_prediction=False),
+        dict(use_pa_cache=True, use_neighbor_prediction=False),
+        dict(use_pa_cache=False, use_neighbor_prediction=True),
+    )
+    for overrides in ablation_variants:
+        for app in PAPER_APPS:
+            keys.append(runner.key(app, "grit", **overrides))
+    return list(dict.fromkeys(keys))

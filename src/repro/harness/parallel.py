@@ -1,10 +1,12 @@
-"""Process-parallel experiment sweeps.
+"""Process-parallel experiment sweeps (thin orchestrator front-end).
 
 Figure regeneration is embarrassingly parallel across (workload, policy,
-config) runs; this module fans a list of :class:`RunKey` out over a
-process pool and returns the same ``{key: SimulationResult}`` mapping a
-sequential runner would produce.  Each simulation is deterministic given
-its key, so parallel and sequential sweeps agree exactly.
+config) runs; these helpers fan a list of :class:`RunKey` out over the
+resilient :mod:`repro.harness.orchestrator` and return the same
+``{key: SimulationResult}`` mapping a sequential runner would produce.
+Each task carries the caller's full effective
+:class:`~repro.config.SystemConfig`, so parallel and sequential sweeps
+agree exactly — including under non-default base configurations.
 
 Usage::
 
@@ -17,44 +19,43 @@ Usage::
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
 from typing import Dict, Iterable, Sequence
 
+from repro.config import SystemConfig
 from repro.harness.experiment import ExperimentRunner, RunKey
+from repro.harness.orchestrator import SweepError, run_sweep
 from repro.sim.result import SimulationResult
-
-
-def _run_one(key: RunKey) -> SimulationResult:
-    """Worker entry point: simulate one key in a fresh runner."""
-    return ExperimentRunner(scale=key.scale).run(key)
 
 
 def run_keys_parallel(
     keys: Sequence[RunKey],
     workers: int | None = None,
+    base_config: SystemConfig | None = None,
+    artifacts_dir: str | None = None,
+    cache_dir: str | None = None,
 ) -> Dict[RunKey, SimulationResult]:
-    """Simulate every key, fanning out across processes.
+    """Simulate every key, fanning out across worker processes.
 
     ``workers`` defaults to the CPU count (capped by the number of
-    keys).  With ``workers=1`` the sweep runs inline, which is also the
-    fallback on platforms without process support.
+    keys).  With ``workers=1`` the sweep runs inline, which is also
+    the fallback on platforms without process support.  Raises
+    :class:`SweepError` if any key still fails after the
+    orchestrator's retries.
     """
-    unique = list(dict.fromkeys(keys))
-    if workers is None:
-        workers = min(len(unique), os.cpu_count() or 1) or 1
-    if workers <= 1 or len(unique) <= 1:
-        runner_cache: Dict[RunKey, SimulationResult] = {}
-        for key in unique:
-            runner_cache[key] = _run_one(key)
-        return runner_cache
-    results: Dict[RunKey, SimulationResult] = {}
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers
-    ) as pool:
-        for key, result in zip(unique, pool.map(_run_one, unique)):
-            results[key] = result
-    return results
+    summary = run_sweep(
+        keys,
+        base_config=base_config,
+        workers=workers,
+        cache_dir=cache_dir,
+        artifacts_dir=artifacts_dir,
+    )
+    failed = summary.failed_keys()
+    if failed:
+        labels = ", ".join(
+            f"{key.workload}/{key.policy}" for key in failed
+        )
+        raise SweepError(f"sweep failed for: {labels}")
+    return dict(summary.results)
 
 
 def warm_runner_parallel(
@@ -62,8 +63,12 @@ def warm_runner_parallel(
     keys: Iterable[RunKey],
     workers: int | None = None,
 ) -> ExperimentRunner:
-    """Pre-populate a runner's cache using a process pool.
+    """Pre-populate a runner's cache using worker processes.
 
+    The runner's own ``base_config``, ``artifacts_dir``, and (for a
+    :class:`~repro.harness.cache.DiskCachedRunner`) disk cache
+    directory are forwarded to the workers, so the warmed cache holds
+    exactly what sequential ``runner.run`` calls would have produced.
     After warming, every figure function that only touches ``keys``
     serves from cache — the pattern for fast whole-report regeneration:
 
@@ -71,7 +76,13 @@ def warm_runner_parallel(
         warm_runner_parallel(runner, all_keys)
         write_report("REPORT.md", runner=runner)
     """
-    results = run_keys_parallel(list(keys), workers=workers)
+    results = run_keys_parallel(
+        list(keys),
+        workers=workers,
+        base_config=runner.base_config,
+        artifacts_dir=runner.artifacts_dir,
+        cache_dir=getattr(runner, "cache_dir", None),
+    )
     runner._cache.update(results)
     return runner
 

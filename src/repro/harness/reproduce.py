@@ -38,14 +38,20 @@ def generate_report(
     figures: Iterable[str] | None = None,
     runner: ExperimentRunner | None = None,
     charts_dir: str | os.PathLike | None = None,
+    workers: int = 1,
 ) -> str:
     """Regenerate figures and return the markdown report text.
 
     When ``charts_dir`` is given, an SVG bar chart is written there for
-    every figure with numeric cells, and the report embeds it.
+    every figure with numeric cells, and the report embeds it.  With
+    ``workers > 1`` the runs the figures share are pre-warmed through
+    the resilient sweep orchestrator before the (sequential) figure
+    functions consume them from cache.
     """
     runner = runner or ExperimentRunner(scale=scale)
     names = sorted(figures) if figures is not None else sorted(FIGURES)
+    if workers > 1:
+        _prewarm(runner, workers)
     started = time.time()
     if charts_dir is not None:
         os.makedirs(charts_dir, exist_ok=True)
@@ -86,6 +92,23 @@ def generate_report(
     return header + "\n" + "\n".join(sections)
 
 
+def _prewarm(runner: ExperimentRunner, workers: int) -> None:
+    """Populate the runner's cache via the sweep orchestrator."""
+    from repro.harness.figures import warmup_keys
+    from repro.harness.orchestrator import run_sweep
+
+    summary = run_sweep(
+        warmup_keys(runner),
+        base_config=runner.base_config,
+        workers=workers,
+        cache_dir=getattr(runner, "cache_dir", None),
+        artifacts_dir=runner.artifacts_dir,
+    )
+    # Failed keys (if any) fall back to inline simulation when a
+    # figure asks for them; pre-warming is best-effort.
+    runner._cache.update(summary.results)
+
+
 def _maybe_write_chart(
     figure: FigureData, charts_dir: str | os.PathLike
 ) -> str | None:
@@ -105,9 +128,15 @@ def write_report(
     scale: float = 0.25,
     figures: Iterable[str] | None = None,
     charts_dir: str | os.PathLike | None = None,
+    workers: int = 1,
 ) -> str:
     """Generate the report and write it to ``path``; returns the text."""
-    text = generate_report(scale=scale, figures=figures, charts_dir=charts_dir)
+    text = generate_report(
+        scale=scale,
+        figures=figures,
+        charts_dir=charts_dir,
+        workers=workers,
+    )
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
     return text

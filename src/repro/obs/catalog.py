@@ -44,9 +44,21 @@ GRIT_PAGES_DUPLICATION = "grit.pages.duplication"
 UVM_FAULT_SERVICE_CYCLES = "uvm.fault.service_cycles"
 UVM_MIGRATION_CYCLES = "uvm.migration.cycles"
 
+# -- harness sweep counters (emitted by the sweep orchestrator, not by
+#    the per-run sampler; see repro.harness.orchestrator) --------------
 
-def _counter(name: str, description: str) -> MetricSpec:
-    return MetricSpec(name, MetricKind.COUNTER, description, unit="events")
+SWEEP_TASKS = "harness.sweep.tasks.total"
+SWEEP_COMPLETED = "harness.sweep.completed.total"
+SWEEP_RETRIES = "harness.sweep.retries.total"
+SWEEP_FAILURES = "harness.sweep.failures.total"
+SWEEP_TIMEOUTS = "harness.sweep.timeouts.total"
+SWEEP_CRASHES = "harness.sweep.crashes.total"
+
+
+def _counter(
+    name: str, description: str, unit: str = "events"
+) -> MetricSpec:
+    return MetricSpec(name, MetricKind.COUNTER, description, unit=unit)
 
 
 def _gauge(name: str, description: str, unit: str = "") -> MetricSpec:
@@ -99,9 +111,52 @@ METRICS: Tuple[MetricSpec, ...] = (
 )
 
 
+#: Sweep-orchestrator metrics: registered by
+#: :func:`build_sweep_registry`, not per simulated run — a sweep spans
+#: many runs, so its counters would only pollute per-run exports.
+SWEEP_METRICS: Tuple[MetricSpec, ...] = (
+    _counter(
+        SWEEP_TASKS, "unique sweep tasks scheduled", unit="tasks"
+    ),
+    _counter(
+        SWEEP_COMPLETED,
+        "sweep tasks that produced a result",
+        unit="tasks",
+    ),
+    _counter(
+        SWEEP_RETRIES,
+        "failed attempts re-enqueued with backoff",
+        unit="attempts",
+    ),
+    _counter(
+        SWEEP_FAILURES,
+        "sweep tasks that exhausted their retries",
+        unit="tasks",
+    ),
+    _counter(
+        SWEEP_TIMEOUTS,
+        "attempts killed for exceeding the per-task timeout",
+        unit="attempts",
+    ),
+    _counter(
+        SWEEP_CRASHES,
+        "worker processes that died without reporting a result",
+        unit="attempts",
+    ),
+)
+
+
 def build_registry() -> MetricsRegistry:
-    """A fresh registry with the whole catalogue registered."""
+    """A fresh registry with the whole per-run catalogue registered."""
     registry = MetricsRegistry()
     for spec in METRICS:
+        registry.register(spec)
+    return registry
+
+
+def build_sweep_registry() -> MetricsRegistry:
+    """A fresh registry with the sweep-orchestrator metrics."""
+    registry = MetricsRegistry()
+    for spec in SWEEP_METRICS:
         registry.register(spec)
     return registry

@@ -49,7 +49,8 @@ class TestPACacheAccess:
     def test_low_4_bits_index_sets(self, cache):
         # 64 entries / 4 ways = 16 sets; VPNs 0, 16, 32, 48, 64 collide.
         for vpn in (0, 16, 32, 48):
-            cache.access(vpn)
+            entry, _ = cache.access(vpn)
+            entry.record_fault(False)
         cache.access(64)  # evicts LRU (vpn 0) to the table
         assert cache.writebacks == 1
 
@@ -70,6 +71,57 @@ class TestPACacheAccess:
         assert table.lookup(0) is None  # still cached
 
 
+class TestWritebackAccounting:
+    """Write-allocate + write-back: only modified entries write back."""
+
+    def test_clean_eviction_is_not_a_writeback(self, cache, table):
+        for vpn in (0, 16, 32, 48):
+            cache.access(vpn)  # never modified after fill
+        cache.access(64)
+        assert cache.writebacks == 0
+        # The victim still reaches the table (its state is preserved).
+        assert table.lookup(0) is not None
+
+    def test_dirty_eviction_counts_once(self, cache):
+        entry, _ = cache.access(0)
+        entry.record_fault(True)
+        for vpn in (16, 32, 48, 64):
+            cache.access(vpn)
+        assert cache.writebacks == 1
+
+    def test_clean_fill_from_table_stays_clean(self, cache, table):
+        table.insert(PAEntry(vpn=0, rw_bit=1, fault_counter=2))
+        cache.access(0)  # fill without modifying
+        for vpn in (16, 32, 48, 64):
+            cache.access(vpn)
+        assert cache.writebacks == 0
+        # Round-tripped through the cache unchanged.
+        restored = table.lookup(0)
+        assert restored is not None
+        assert restored.fault_counter == 2
+
+    def test_flush_counts_only_dirty_entries(self, cache):
+        dirty_entry, _ = cache.access(3)
+        dirty_entry.record_fault(False)
+        cache.access(4)
+        cache.access(5)
+        cache.flush_to_table()
+        assert cache.writebacks == 1
+
+    def test_writeback_clears_dirty_bit(self, cache, table):
+        entry, _ = cache.access(0)
+        entry.record_fault(False)
+        for vpn in (16, 32, 48, 64):
+            cache.access(vpn)
+        assert cache.writebacks == 1
+        # Re-fill the written-back entry and evict it unmodified: the
+        # dirty bit must not survive the round trip.
+        cache.access(0)  # set is now [32, 48, 64, 0]
+        for vpn in (16, 80, 96, 112):  # four evictions push 0 out
+            cache.access(vpn)
+        assert cache.writebacks == 1
+
+
 class TestPACacheDelete:
     def test_delete_removes_from_both_levels(self, cache, table):
         cache.access(5)
@@ -79,6 +131,17 @@ class TestPACacheDelete:
         _, hit = cache.access(5)
         assert not hit
         assert table.lookup(6) is None
+
+    def test_delete_is_counted(self, cache, table):
+        cache.access(5)
+        table.insert(PAEntry(vpn=6))
+        cache.delete(5)
+        cache.delete(6)
+        assert cache.deletes == 2
+
+    def test_delete_of_absent_entry_not_counted(self, cache):
+        cache.delete(99)
+        assert cache.deletes == 0
 
     def test_flush_to_table(self, cache, table):
         for vpn in range(8):

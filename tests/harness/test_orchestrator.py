@@ -1,0 +1,267 @@
+"""Resilient sweep orchestrator: equivalence and failure paths."""
+
+import json
+import multiprocessing
+import os
+import time
+
+from repro.config import SystemConfig
+from repro.harness.cache import DiskCachedRunner
+from repro.harness.experiment import ExperimentRunner
+from repro.harness.orchestrator import (
+    FaultInjection,
+    SweepOrchestrator,
+    execute_task,
+    result_digest,
+    run_sweep,
+    tasks_for,
+)
+from repro.obs import catalog
+
+SCALE = 0.05
+
+#: A deliberately non-default configuration: the historical parallel
+#: path silently simulated the default config instead of this one.
+NON_DEFAULT_CONFIG = SystemConfig(issue_gap=8, dram_footprint_fraction=0.5)
+
+
+def _marker(tmp_path, name="fired"):
+    return str(tmp_path / name)
+
+
+def sample_keys(runner):
+    return [
+        runner.key("fir", "on_touch"),
+        runner.key("fir", "grit"),
+        runner.key("st", "on_touch"),
+    ]
+
+
+def _assert_identical(result, expected):
+    assert result.total_cycles == expected.total_cycles
+    assert result.per_gpu_cycles == expected.per_gpu_cycles
+    assert result.counters.as_dict() == expected.counters.as_dict()
+    assert result.breakdown.as_dict() == expected.breakdown.as_dict()
+    assert result_digest(result) == result_digest(expected)
+
+
+class TestEquivalence:
+    def test_non_default_config_with_crash_matches_sequential(self):
+        """The acceptance sweep: non-default config, workers=4, one
+        injected worker crash — retried, and bit-identical to the
+        sequential ExperimentRunner."""
+        import tempfile
+
+        runner = ExperimentRunner(
+            base_config=NON_DEFAULT_CONFIG, scale=SCALE
+        )
+        keys = sample_keys(runner)
+        marker = os.path.join(tempfile.mkdtemp(), "fired")
+        summary = run_sweep(
+            keys,
+            base_config=NON_DEFAULT_CONFIG,
+            workers=4,
+            injections={
+                keys[1]: FaultInjection(marker, mode="crash")
+            },
+        )
+        assert summary.failures == 0
+        assert summary.crashes == 1
+        assert summary.retries == 1
+        for key in keys:
+            _assert_identical(summary.results[key], runner.run(key))
+
+    def test_differs_from_default_config_results(self):
+        """Guard that NON_DEFAULT_CONFIG actually changes results —
+        otherwise the equivalence test above could not catch the old
+        base_config drop."""
+        key = ExperimentRunner(scale=SCALE).key("fir", "on_touch")
+        default = ExperimentRunner(scale=SCALE).run(key)
+        tweaked = ExperimentRunner(
+            base_config=NON_DEFAULT_CONFIG, scale=SCALE
+        ).run(key)
+        assert default.total_cycles != tweaked.total_cycles
+
+
+class TestFailurePaths:
+    def test_worker_crash_is_isolated_and_retried(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)
+        summary = run_sweep(
+            keys,
+            workers=2,
+            injections={
+                keys[0]: FaultInjection(_marker(tmp_path), mode="crash")
+            },
+        )
+        assert summary.failures == 0
+        assert summary.completed == len(keys)
+        assert summary.crashes == 1
+        report = summary.reports[0]
+        assert [a.outcome for a in report.attempts] == ["crash", "ok"]
+
+    def test_per_task_timeout_kills_hung_worker(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = [runner.key("fir", "on_touch")]
+        started = time.monotonic()
+        summary = run_sweep(
+            keys,
+            workers=2,
+            retries=1,
+            timeout=1.0,
+            injections={
+                keys[0]: FaultInjection(
+                    _marker(tmp_path), mode="hang", hang_seconds=60.0
+                )
+            },
+        )
+        assert time.monotonic() - started < 30
+        assert summary.timeouts == 1
+        assert summary.failures == 0
+        assert summary.completed == 1
+
+    def test_retry_then_succeed_inline(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = [runner.key("fir", "on_touch")]
+        summary = run_sweep(
+            keys,
+            workers=1,
+            retries=1,
+            injections={
+                keys[0]: FaultInjection(_marker(tmp_path), mode="raise")
+            },
+        )
+        assert summary.completed == 1
+        assert summary.retries == 1
+
+    def test_exhausted_retries_reported_not_raised(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)[:2]
+        # Injection markers never exist, so every attempt crashes.
+        injections = {
+            keys[0]: FaultInjection("/nonexistent/nope", mode="raise")
+        }
+        orchestrator = SweepOrchestrator(
+            workers=2, retries=1, backoff=0.01
+        )
+        summary = orchestrator.run(
+            tasks_for(keys, injections=injections)
+        )
+        assert summary.failures == 1
+        assert summary.failed_keys() == [keys[0]]
+        # The healthy key still completed.
+        assert keys[1] in summary.results
+
+    def test_injected_crash_is_safe_inline(self, tmp_path):
+        """Degraded (inline) execution must not kill the process."""
+        runner = ExperimentRunner(scale=SCALE)
+        keys = [runner.key("fir", "on_touch")]
+        summary = run_sweep(
+            keys,
+            workers=1,
+            retries=1,
+            injections={
+                keys[0]: FaultInjection(_marker(tmp_path), mode="crash")
+            },
+        )
+        assert summary.completed == 1
+        assert summary.retries == 1
+
+
+class TestMetrics:
+    def test_sweep_metrics_reach_the_registry(self, tmp_path):
+        registry = catalog.build_sweep_registry()
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)
+        orchestrator = SweepOrchestrator(
+            workers=2, retries=2, registry=registry
+        )
+        orchestrator.run(
+            tasks_for(
+                keys,
+                injections={
+                    keys[0]: FaultInjection(
+                        _marker(tmp_path), mode="crash"
+                    )
+                },
+            )
+        )
+        assert registry.value(catalog.SWEEP_TASKS) == len(keys)
+        assert registry.value(catalog.SWEEP_COMPLETED) == len(keys)
+        assert registry.value(catalog.SWEEP_CRASHES) == 1
+        assert registry.value(catalog.SWEEP_RETRIES) == 1
+        assert registry.value(catalog.SWEEP_FAILURES) == 0
+        assert registry.value(catalog.SWEEP_TIMEOUTS) == 0
+        assert registry.samples  # progress was sampled
+
+
+class TestSummary:
+    def test_render_mentions_retried_task(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = [runner.key("fir", "grit")]
+        summary = run_sweep(
+            keys,
+            workers=2,
+            injections={
+                keys[0]: FaultInjection(_marker(tmp_path), mode="crash")
+            },
+        )
+        text = summary.render()
+        assert "retries=1" in text
+        assert "crash,ok" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        runner = ExperimentRunner(scale=SCALE)
+        keys = [runner.key("fir", "on_touch")]
+        summary = run_sweep(keys, workers=1)
+        data = json.loads(json.dumps(summary.to_dict()))
+        assert data["tasks"] == 1
+        assert data["failures"] == 0
+        (entry,) = data["results"].values()
+        assert entry["workload"] == "fir"
+        assert entry["digest"] == result_digest(
+            summary.results[keys[0]]
+        )
+
+
+def _hammer_cache(args):
+    """Worker for the concurrent-writers test (module level: picklable)."""
+    cache_dir, scale = args
+    runner = DiskCachedRunner(cache_dir, scale=scale)
+    result = runner.run(runner.key("fir", "on_touch"))
+    return result.total_cycles
+
+
+class TestConcurrentDiskCache:
+    def test_concurrent_writers_produce_no_torn_json(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        with multiprocessing.Pool(4) as pool:
+            cycles = pool.map(_hammer_cache, [(cache_dir, SCALE)] * 4)
+        assert len(set(cycles)) == 1  # deterministic runs agree
+        files = os.listdir(cache_dir)
+        assert files and not [f for f in files if ".tmp." in f]
+        for name in files:
+            with open(os.path.join(cache_dir, name)) as handle:
+                json.load(handle)  # every file parses
+
+    def test_orchestrator_workers_share_disk_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        runner = ExperimentRunner(scale=SCALE)
+        keys = sample_keys(runner)
+        run_sweep(keys, workers=2, cache_dir=cache_dir)
+        # A fresh runner serves every key from disk, no simulation.
+        warmed = DiskCachedRunner(cache_dir, scale=SCALE)
+        for key in keys:
+            warmed.run(key)
+        assert warmed.disk_hits == len(keys)
+        assert warmed.disk_misses == 0
+
+
+class TestExecuteTask:
+    def test_execute_task_matches_runner(self):
+        runner = ExperimentRunner(
+            base_config=NON_DEFAULT_CONFIG, scale=SCALE
+        )
+        key = runner.key("fir", "grit")
+        (task,) = tasks_for([key], base_config=NON_DEFAULT_CONFIG)
+        _assert_identical(execute_task(task), runner.run(key))

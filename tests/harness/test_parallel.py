@@ -1,7 +1,6 @@
 """Process-parallel sweeps agree with sequential execution."""
 
-import pytest
-
+from repro.config import SystemConfig
 from repro.harness.experiment import ExperimentRunner
 from repro.harness.parallel import (
     headline_keys,
@@ -50,6 +49,31 @@ class TestRunKeysParallel:
         results = run_keys_parallel([key, key, key], workers=1)
         assert len(results) == 1
 
+    def test_base_config_reaches_workers(self):
+        """Regression: workers used to rebuild a *default*
+        ExperimentRunner, silently simulating the wrong config."""
+        config = SystemConfig(issue_gap=8, dram_footprint_fraction=0.5)
+        runner = ExperimentRunner(base_config=config, scale=SCALE)
+        keys = sample_keys(runner)
+        parallel = run_keys_parallel(
+            keys, workers=2, base_config=config
+        )
+        for key in keys:
+            expected = runner.run(key)
+            assert parallel[key].total_cycles == expected.total_cycles
+            assert (
+                parallel[key].counters.as_dict()
+                == expected.counters.as_dict()
+            )
+
+    def test_base_config_changes_results(self):
+        """Sanity: the config in the regression test is load-bearing."""
+        config = SystemConfig(issue_gap=8, dram_footprint_fraction=0.5)
+        runner = ExperimentRunner(scale=SCALE)
+        key = runner.key("fir", "on_touch")
+        tweaked = run_keys_parallel([key], workers=1, base_config=config)
+        assert tweaked[key].total_cycles != runner.run(key).total_cycles
+
 
 class TestWarmRunner:
     def test_warmed_cache_serves_without_resimulation(self):
@@ -58,6 +82,20 @@ class TestWarmRunner:
         warm_runner_parallel(runner, keys, workers=1)
         cached = runner._cache[keys[0]]
         assert runner.run(keys[0]) is cached
+
+    def test_warming_respects_runner_config(self):
+        """Regression: warming a non-default runner used to fill its
+        cache with default-config results."""
+        config = SystemConfig(issue_gap=8, dram_footprint_fraction=0.5)
+        warmed = ExperimentRunner(base_config=config, scale=SCALE)
+        keys = sample_keys(warmed)
+        warm_runner_parallel(warmed, keys, workers=2)
+        fresh = ExperimentRunner(base_config=config, scale=SCALE)
+        for key in keys:
+            assert (
+                warmed.run(key).total_cycles
+                == fresh.run(key).total_cycles
+            )
 
     def test_headline_keys_cover_figure_17(self):
         runner = ExperimentRunner(scale=SCALE)
