@@ -78,6 +78,8 @@ class WalkerConfig:
     def __post_init__(self) -> None:
         if self.walkers <= 0:
             raise ConfigError("need at least one page-table walker")
+        if self.walk_queue_entries <= 0:
+            raise ConfigError("walk queue needs at least one entry")
         if self.levels <= 0:
             raise ConfigError("page table must have at least one level")
         if self.latency_per_level < 0:

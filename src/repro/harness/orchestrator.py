@@ -138,16 +138,31 @@ def execute_task(task: SweepTask, inline: bool = True) -> SimulationResult:
     return runner.run(task.key)
 
 
+def _send_outcome(conn, payload) -> None:
+    """Best-effort send to the parent; a dead pipe is not our problem
+    (the parent already classifies a silent child as a crash)."""
+    try:
+        conn.send(payload)
+    except (OSError, ValueError, TypeError):
+        pass
+
+
 def _worker_main(task: SweepTask, conn) -> None:
-    """Child-process entry point: run the task, ship the outcome."""
+    """Child-process entry point: run the task, ship the outcome.
+
+    Task failures are reported over the pipe as ``("error", tb)``.
+    Cancellation (KeyboardInterrupt/SystemExit) is reported too but
+    then re-raised so the child dies with a nonzero exit status
+    instead of masquerading as a clean run.
+    """
     try:
         result = execute_task(task, inline=False)
-        conn.send(("ok", result))
+        _send_outcome(conn, ("ok", result))
+    except Exception:
+        _send_outcome(conn, ("error", traceback.format_exc()))
     except BaseException:
-        try:
-            conn.send(("error", traceback.format_exc()))
-        except Exception:
-            pass
+        _send_outcome(conn, ("error", traceback.format_exc()))
+        raise
     finally:
         conn.close()
 

@@ -1,0 +1,100 @@
+"""Finding baselines: adopt simflow on a codebase with known debt.
+
+A baseline file records findings that are accepted for now; ``lint
+--baseline FILE`` filters them from the output so new findings fail
+the build while the recorded debt does not.  Entries match on
+``(rule, path, message)`` — deliberately not on line numbers, so
+unrelated edits above a baselined finding do not resurrect it.
+
+``lint --update-baseline`` rewrites the file from the current run,
+which is also how entries are retired: fix the code, regenerate, and
+the shrunken file documents the progress in review.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.findings import Finding
+
+#: Default baseline location relative to the repo root.
+DEFAULT_BASELINE_NAME = ".simlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def _key(finding: Finding) -> Tuple[str, str, str]:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: Path) -> List[Dict[str, str]]:
+    """Read baseline entries (raises ValueError on a malformed file)."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}")
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != _FORMAT_VERSION
+        or not isinstance(document.get("findings"), list)
+    ):
+        raise ValueError(
+            f"baseline {path} is not a simlint baseline "
+            f"(expected version {_FORMAT_VERSION})"
+        )
+    entries: List[Dict[str, str]] = []
+    for row in document["findings"]:
+        if not isinstance(row, dict):
+            raise ValueError(f"baseline {path} has a non-object entry")
+        entries.append(
+            {
+                "rule": str(row.get("rule", "")),
+                "path": str(row.get("path", "")),
+                "message": str(row.get("message", "")),
+            }
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[Dict[str, str]]
+) -> Tuple[List[Finding], int]:
+    """Drop baselined findings; returns ``(kept, matched_count)``.
+
+    Each baseline entry absorbs at most one finding per run, so a
+    defect that multiplies still fails the build.
+    """
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["message"])
+        budget[key] = budget.get(key, 0) + 1
+    kept: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = _key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            kept.append(finding)
+    return kept, matched
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    document = {
+        "version": _FORMAT_VERSION,
+        "findings": [
+            {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    path.write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,190 @@
+"""Content-hash result cache for repeated lint runs.
+
+The cache keys every result on content hashes, never on timestamps:
+
+* a **rules key** — one hash over every source file of the lint
+  package itself, so editing any rule or the engine invalidates
+  everything;
+* a **per-module entry** — the file-rule findings of one module,
+  keyed by the module's content hash;
+* a **project entry** — the final post-suppression findings of a
+  whole-package run, keyed by the hashes of every module *and* every
+  prose file the documentation rules read.
+
+A fully warm run matches the project entry from raw file bytes alone
+— no parsing, no symbol table, no rule execution — which is where the
+order-of-magnitude speedup on unchanged trees comes from.  The cache
+file lives at the repo root (``.simlint_cache.json``, gitignored) and
+a corrupt or version-skewed file degrades to a cold run, never to an
+error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.lint.findings import Finding
+
+#: Default cache location relative to the repo root.
+DEFAULT_CACHE_NAME = ".simlint_cache.json"
+
+_FORMAT_VERSION = 1
+
+_rules_key_memo: Dict[str, str] = {}
+
+
+def rules_fingerprint() -> str:
+    """Hash of the lint package's own sources (rule-change detector)."""
+    package_dir = Path(__file__).resolve().parent
+    memoized = _rules_key_memo.get(str(package_dir))
+    if memoized is not None:
+        return memoized
+    digest = hashlib.sha256()
+    for path in sorted(package_dir.rglob("*.py")):
+        digest.update(path.relative_to(package_dir).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    key = digest.hexdigest()
+    _rules_key_memo[str(package_dir)] = key
+    return key
+
+
+def content_hash(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def project_key(file_hashes: Dict[str, str]) -> str:
+    """One hash over every (path, content-hash) pair of a run."""
+    digest = hashlib.sha256()
+    for relpath in sorted(file_hashes):
+        digest.update(relpath.encode())
+        digest.update(b"\0")
+        digest.update(file_hashes[relpath].encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """What the cache did for one run (reported by ``--format json``)."""
+
+    modules: int = 0
+    module_hits: int = 0
+    project_hit: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "modules": self.modules,
+            "module_hits": self.module_hits,
+            "project_hit": self.project_hit,
+        }
+
+
+class AnalysisCache:
+    """Load/store layer over the on-disk cache document."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.rules_key = rules_fingerprint()
+        self._modules: Dict[str, Dict[str, object]] = {}
+        self._project: Dict[str, object] | None = None
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            document = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(document, dict):
+            return
+        if document.get("version") != _FORMAT_VERSION:
+            return
+        if document.get("rules_key") != self.rules_key:
+            return
+        modules = document.get("modules")
+        if isinstance(modules, dict):
+            for relpath, entry in modules.items():
+                if (
+                    isinstance(entry, dict)
+                    and isinstance(entry.get("sha"), str)
+                    and isinstance(entry.get("findings"), list)
+                ):
+                    self._modules[str(relpath)] = entry
+        project = document.get("project")
+        if (
+            isinstance(project, dict)
+            and isinstance(project.get("key"), str)
+            and isinstance(project.get("findings"), list)
+        ):
+            self._project = project
+
+    # -- per-module file-rule findings --------------------------------
+
+    def module_findings(
+        self, relpath: str, sha: str
+    ) -> List[Finding] | None:
+        entry = self._modules.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        try:
+            return [
+                Finding.from_dict(row)
+                for row in entry["findings"]  # type: ignore[index]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_module(
+        self, relpath: str, sha: str, findings: List[Finding]
+    ) -> None:
+        self._modules[relpath] = {
+            "sha": sha,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    # -- whole-run findings -------------------------------------------
+
+    def project_findings(self, key: str) -> List[Finding] | None:
+        if self._project is None or self._project.get("key") != key:
+            return None
+        try:
+            return [
+                Finding.from_dict(row)
+                for row in self._project["findings"]  # type: ignore[index]
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_project(self, key: str, findings: List[Finding]) -> None:
+        self._project = {
+            "key": key,
+            "findings": [finding.to_dict() for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (best effort: IO errors pass)."""
+        if not self._dirty:
+            return
+        document = {
+            "version": _FORMAT_VERSION,
+            "rules_key": self.rules_key,
+            "modules": self._modules,
+            "project": self._project,
+        }
+        try:
+            tmp = self.path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(document, indent=1) + "\n", encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        except OSError:
+            return
+        self._dirty = False

@@ -1,0 +1,451 @@
+"""Project-wide call graph over the simlint symbol table.
+
+The flow rules need to follow a value through helper calls: which
+function does ``helper()`` on line 40 of ``uvm/driver.py`` actually
+name?  :class:`CallGraph` indexes every module-level function and every
+method of every top-level class, then resolves call expressions with a
+deliberately conservative set of strategies:
+
+* ``f(...)`` — a function defined in the same module, or imported via
+  ``from mod import f``;
+* ``mod.f(...)`` — ``mod`` bound by ``import pkg.mod as mod`` (or a
+  dotted chain matching a known module path);
+* ``self.m(...)`` — a method of the enclosing class or its project
+  bases;
+* ``self.attr.m(...)`` / ``var.m(...)`` — when ``attr``/``var`` was
+  assigned a project-class constructor call, the method of that class.
+
+Anything else resolves to ``None``: guessing by method name alone would
+confuse ``dict.get`` with a project ``get`` and poison the analysis
+with false positives.  Unresolved calls are treated conservatively by
+the taint pass instead.  Import cycles are harmless here — resolution
+is purely syntactic and :meth:`reachable` carries a visited set.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+
+from repro.lint.symbols import ModuleInfo, SymbolTable
+
+#: (relpath, qualname) — the stable identity of a function.
+FunctionKey = Tuple[str, str]
+
+#: (relpath, class name) — the stable identity of a class.
+ClassKey = Tuple[str, str]
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One module-level function or method of a top-level class."""
+
+    relpath: str
+    qualname: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: ModuleInfo
+
+    @property
+    def key(self) -> FunctionKey:
+        return (self.relpath, self.qualname)
+
+    @property
+    def params(self) -> List[str]:
+        """Declared parameter names, in call order (without *args)."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs]
+        names.extend(a.arg for a in args.args)
+        names.extend(a.arg for a in args.kwonlyargs)
+        return names
+
+    @property
+    def location(self) -> str:
+        return f"{self.relpath}:{self.node.lineno}"
+
+
+class CallGraph:
+    """Function index plus conservative call resolution."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        #: FunctionKey -> FunctionInfo for every indexed function.
+        self.functions: Dict[FunctionKey, FunctionInfo] = {}
+        #: ClassKey -> {method name -> FunctionKey}.
+        self._methods: Dict[ClassKey, Dict[str, FunctionKey]] = {}
+        #: ClassKey -> base class names (resolved lazily by name).
+        self._bases: Dict[ClassKey, List[str]] = {}
+        #: class name -> ClassKey (first definition wins; the project
+        #: keeps class names unique so collisions are theoretical).
+        self._class_by_name: Dict[str, ClassKey] = {}
+        #: relpath -> {local name -> ("module", relpath) or
+        #: ("symbol", relpath, name)} from the module's imports.
+        self._imports: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        #: (ClassKey, attr) -> ClassKey for ``self.attr = Class(...)``
+        #: constructor assignments and class-body annotations.
+        self._attr_types: Dict[Tuple[ClassKey, str], ClassKey] = {}
+        self._module_paths: Dict[str, str] = {}
+        self._pending_annotations: List[
+            Tuple[ClassKey, str, ast.expr, ModuleInfo]
+        ] = []
+        self._index()
+
+    @classmethod
+    def of(cls, symbols: SymbolTable) -> "CallGraph":
+        """Build (or reuse) the graph for one symbol table instance."""
+        cached = getattr(symbols, "_simflow_callgraph", None)
+        if cached is None:
+            cached = cls(symbols)
+            symbols._simflow_callgraph = cached  # type: ignore[attr-defined]
+        return cached
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+
+    def _index(self) -> None:
+        package = ""
+        for info in self.symbols.iter_modules():
+            if not package:
+                # The scanned tree is a package: imports name modules
+                # as "<package>.<relpath dots>", so both spellings are
+                # indexed ("sim.engine" and "repro.sim.engine").
+                depth = info.relpath.count("/")
+                package = info.path.resolve().parents[depth].name
+            dotted = info.relpath[: -len(".py")].replace("/", ".")
+            if dotted == "__init__":
+                if package:
+                    self._module_paths.setdefault(package, info.relpath)
+                continue
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            self._module_paths.setdefault(dotted, info.relpath)
+            if package:
+                self._module_paths.setdefault(
+                    f"{package}.{dotted}", info.relpath
+                )
+        for info in self.symbols.iter_modules():
+            self._imports[info.relpath] = self._scan_imports(info)
+            for node in info.tree.body:
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    self._add_function(info, node, None)
+                elif isinstance(node, ast.ClassDef):
+                    self._add_class(info, node)
+        # Attribute typing needs the class index complete, so both the
+        # annotation-declared and constructor-assigned attribute types
+        # resolve in a final pass over the fully built index.
+        for class_key, attr, annotation, info in self._pending_annotations:
+            typed = self._annotation_class(info, annotation)
+            if typed is not None:
+                self._attr_types.setdefault((class_key, attr), typed)
+        for class_key, methods in sorted(self._methods.items()):
+            for method_key in sorted(methods.values()):
+                fn = self.functions[method_key]
+                self._scan_attr_types(class_key, fn)
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> None:
+        qualname = (
+            node.name if class_name is None
+            else f"{class_name}.{node.name}"
+        )
+        fn = FunctionInfo(
+            relpath=info.relpath,
+            qualname=qualname,
+            name=node.name,
+            class_name=class_name,
+            node=node,
+            module=info,
+        )
+        self.functions.setdefault(fn.key, fn)
+        if class_name is not None:
+            class_key = (info.relpath, class_name)
+            self._methods.setdefault(class_key, {}).setdefault(
+                node.name, fn.key
+            )
+
+    def _add_class(self, info: ModuleInfo, node: ast.ClassDef) -> None:
+        class_key = (info.relpath, node.name)
+        self._methods.setdefault(class_key, {})
+        self._class_by_name.setdefault(node.name, class_key)
+        bases: List[str] = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        self._bases[class_key] = bases
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, stmt, node.name)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                self._pending_annotations.append(
+                    (class_key, stmt.target.id, stmt.annotation, info)
+                )
+
+    def _scan_imports(
+        self, info: ModuleInfo
+    ) -> Dict[str, Tuple[str, ...]]:
+        bound: Dict[str, Tuple[str, ...]] = {}
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = self._module_paths.get(alias.name)
+                    if target is None:
+                        continue
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname or "." not in alias.name:
+                        bound[local] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                if not node.module or node.level:
+                    continue
+                target = self._module_paths.get(node.module)
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    submodule = self._module_paths.get(
+                        f"{node.module}.{alias.name}"
+                    )
+                    if submodule is not None:
+                        bound[local] = ("module", submodule)
+                    elif target is not None:
+                        bound[local] = ("symbol", target, alias.name)
+        return bound
+
+    def _annotation_class(
+        self, info: ModuleInfo, annotation: ast.expr
+    ) -> ClassKey | None:
+        """Class key named by a plain ``Name`` annotation, if a project
+        class."""
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            name = annotation.value.strip().split("[")[0]
+        elif isinstance(annotation, ast.Name):
+            name = annotation.id
+        else:
+            return None
+        return self._named_class(info.relpath, name)
+
+    def _named_class(self, relpath: str, name: str) -> ClassKey | None:
+        """Resolve a class name as seen from ``relpath``."""
+        local = (relpath, name)
+        if local in self._methods:
+            return local
+        binding = self._imports.get(relpath, {}).get(name)
+        if binding is not None and binding[0] == "symbol":
+            imported = (binding[1], binding[2])
+            if imported in self._methods:
+                return imported
+        return self._class_by_name.get(name)
+
+    def _scan_attr_types(
+        self, class_key: ClassKey, fn: FunctionInfo
+    ) -> None:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            ctor = node.value.func
+            if not isinstance(ctor, ast.Name):
+                continue
+            typed = self._named_class(fn.relpath, ctor.id)
+            if typed is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self._attr_types.setdefault(
+                        (class_key, target.attr), typed
+                    )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        for key in sorted(self.functions):
+            yield self.functions[key]
+
+    def function(
+        self, relpath: str, qualname: str
+    ) -> FunctionInfo | None:
+        return self.functions.get((relpath, qualname))
+
+    def project_class(self, relpath: str, name: str) -> ClassKey | None:
+        """Public wrapper over named-class resolution (for type hints)."""
+        return self._named_class(relpath, name)
+
+    def method(
+        self, class_key: ClassKey, name: str
+    ) -> FunctionInfo | None:
+        """Look a method up on a class, walking project base classes."""
+        seen: set[ClassKey] = set()
+        stack = [class_key]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            found = self._methods.get(current, {}).get(name)
+            if found is not None:
+                return self.functions[found]
+            for base in self._bases.get(current, ()):
+                base_key = self._named_class(current[0], base)
+                if base_key is not None:
+                    stack.append(base_key)
+        return None
+
+    def attr_type(
+        self, class_key: ClassKey, attr: str
+    ) -> ClassKey | None:
+        return self._attr_types.get((class_key, attr))
+
+    def resolve_name(
+        self, relpath: str, name: str
+    ) -> FunctionInfo | None:
+        """Resolve a bare function name as seen from one module."""
+        local = self.functions.get((relpath, name))
+        if local is not None:
+            return local
+        binding = self._imports.get(relpath, {}).get(name)
+        if binding is not None and binding[0] == "symbol":
+            return self.functions.get((binding[1], binding[2]))
+        return None
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        caller: FunctionInfo,
+        local_types: Mapping[str, ClassKey] | None = None,
+    ) -> FunctionInfo | None:
+        """Resolve one call expression from inside ``caller``."""
+        return self.resolve_target(
+            call.func, caller.module.relpath, caller, local_types
+        )
+
+    def resolve_target(
+        self,
+        func: ast.expr,
+        relpath: str,
+        caller: FunctionInfo | None = None,
+        local_types: Mapping[str, ClassKey] | None = None,
+    ) -> FunctionInfo | None:
+        """Resolve a callable expression (``f``, ``mod.f``, ``self.m``,
+        ``obj.m``) to a project function, or ``None``."""
+        local_types = local_types or {}
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(relpath, func.id)
+            if resolved is not None:
+                return resolved
+            # A class name used as a callable: its constructor.
+            class_key = self._named_class(relpath, func.id)
+            if class_key is not None:
+                return self.method(class_key, "__init__")
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id == "self" and caller is not None and (
+                caller.class_name is not None
+            ):
+                class_key = (caller.relpath, caller.class_name)
+                return self.method(class_key, func.attr)
+            if value.id in local_types:
+                return self.method(local_types[value.id], func.attr)
+            binding = self._imports.get(relpath, {}).get(value.id)
+            if binding is not None and binding[0] == "module":
+                return self.functions.get((binding[1], func.attr))
+            return None
+        if isinstance(value, ast.Attribute):
+            # ``self.attr.m()`` through a constructor-typed attribute.
+            if (
+                isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and caller is not None
+                and caller.class_name is not None
+            ):
+                class_key = (caller.relpath, caller.class_name)
+                typed = self.attr_type(class_key, value.attr)
+                if typed is not None:
+                    return self.method(typed, func.attr)
+                return None
+            # ``pkg.mod.f()`` dotted module chains.
+            chain = self._dotted_chain(value)
+            if chain is not None:
+                target = self._module_paths.get(chain)
+                if target is not None:
+                    return self.functions.get((target, func.attr))
+        return None
+
+    def _dotted_chain(self, node: ast.expr) -> str | None:
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def reachable(
+        self, roots: Iterable[FunctionInfo]
+    ) -> List[FunctionInfo]:
+        """Every function transitively callable from ``roots``.
+
+        Breadth-first with a visited set, so mutually recursive
+        functions and import cycles terminate.  Calls that cannot be
+        resolved are simply not followed.
+        """
+        seen: set[FunctionKey] = set()
+        order: List[FunctionInfo] = []
+        queue: List[FunctionInfo] = list(roots)
+        while queue:
+            fn = queue.pop(0)
+            if fn.key in seen:
+                continue
+            seen.add(fn.key)
+            order.append(fn)
+            local_types = self._local_constructor_types(fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self.resolve_call(node, fn, local_types)
+                if callee is not None and callee.key not in seen:
+                    queue.append(callee)
+        return order
+
+    def _local_constructor_types(
+        self, fn: FunctionInfo
+    ) -> Dict[str, ClassKey]:
+        """``var -> class`` for ``var = Class(...)`` local assignments."""
+        types: Dict[str, ClassKey] = {}
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            ctor = node.value.func
+            if not isinstance(ctor, ast.Name):
+                continue
+            typed = self._named_class(fn.relpath, ctor.id)
+            if typed is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    types.setdefault(target.id, typed)
+        return types

@@ -1,0 +1,895 @@
+"""Per-function dataflow for the simflow taint analysis.
+
+The determinism contract of the simulator is that a run is a pure
+function of (config, trace, policy).  This module defines the taint
+domain that enforces it:
+
+* **value taint** — a value derived from a nondeterminism *source*
+  (wall clock, environment, pid, ``id()``, global/unseeded RNG) that
+  must never reach a *sink* (cycle accounting, ``SimulationResult``,
+  metrics/event emission, cache digests);
+* **order taint** — an unordered ``set`` whose iteration order would
+  leak into results; ``sorted(...)`` is the sanctioned sanitizer.
+
+:class:`FunctionAnalyzer` walks one function body (statement order,
+two passes so simple chains converge) and produces a
+:class:`FunctionSummary`: the taints a function returns, which of its
+parameters flow into sinks, and whether it returns a set.  The
+project-level fixpoint lives in :mod:`repro.lint.taint`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.lint.callgraph import CallGraph, ClassKey, FunctionInfo
+
+#: Wall-clock reading functions of the ``time`` module.
+TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+    }
+)
+
+#: Current-moment constructors of the ``datetime`` module.
+DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+#: ``random``/``numpy.random`` names that are fine *when seeded*.
+SEEDED_CONSTRUCTORS = frozenset(
+    {"Random", "SystemRandom", "default_rng", "RandomState",
+     "SeedSequence", "Generator", "PCG64", "Philox"}
+)
+
+#: Set-producing method names on project objects (PageInfo.holders()).
+SET_RETURNING_METHODS = frozenset(
+    {"holders", "union", "intersection", "difference",
+     "symmetric_difference"}
+)
+
+#: Attributes known to hold sets (PageInfo.replicas).
+SET_ATTRIBUTES = frozenset({"replicas"})
+
+#: Metric-emission method names of the observability registry.
+METRIC_METHODS = frozenset(
+    {"inc", "set_total", "set_gauge", "observe", "sample"}
+)
+
+#: Builtins whose result does not depend on argument iteration order;
+#: a comprehension passed straight into one of these is sanitized.
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "set",
+     "frozenset"}
+)
+
+#: Bounds keeping the taint lattice finite.
+MAX_TRACE_STEPS = 16
+MAX_TAINTS = 6
+
+
+def root_name(node: ast.AST) -> str | None:
+    """Leftmost ``Name`` of an attribute chain (``a.b.c`` -> ``a``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One hop of a taint trace (mirrors findings.TraceStep)."""
+
+    path: str
+    line: int
+    note: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Taint:
+    """One origin flowing through the current expression.
+
+    ``kind`` is ``"source"`` for a concrete nondeterminism source and
+    ``"param"`` for a function parameter (composed at call sites).
+    ``label`` names the source (or the parameter); ``steps`` is the
+    origin-to-here trace.
+    """
+
+    kind: str
+    label: str
+    steps: Tuple[Step, ...]
+
+    def extended(self, step: Step) -> "Taint":
+        if len(self.steps) >= MAX_TRACE_STEPS:
+            return self
+        if self.steps and self.steps[-1] == step:
+            return self
+        return Taint(self.kind, self.label, self.steps + (step,))
+
+
+Taints = Tuple[Taint, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SinkHit:
+    """A tainted value arriving at a sink."""
+
+    kind: str
+    label: str
+    sink: str
+    path: str
+    line: int
+    steps: Tuple[Step, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SetEvidence:
+    """Why an expression is believed to be an unordered set.
+
+    ``origin`` is ``"literal"`` / ``"attribute"`` / ``"call"`` /
+    ``"param"``; ``syntactic`` is True when the per-file GRIT-D003 rule
+    would already see the set-ness without cross-function knowledge
+    (its scope then owns the finding).
+    """
+
+    origin: str
+    note: str
+    path: str
+    line: int
+    syntactic: bool
+    steps: Tuple[Step, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderHit:
+    """An unordered set iterated where order can leak into results."""
+
+    path: str
+    line: int
+    note: str
+    syntactic: bool
+    steps: Tuple[Step, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Degradation:
+    """A spot where the analysis lost precision but kept going."""
+
+    kind: str
+    path: str
+    line: int
+    note: str
+
+
+@dataclasses.dataclass
+class FunctionSummary:
+    """What the rest of the project needs to know about one function."""
+
+    returns: Taints = ()
+    param_sinks: Dict[str, Tuple[SinkHit, ...]] = dataclasses.field(
+        default_factory=dict
+    )
+    returns_set: bool = False
+    set_note: str = ""
+    sink_hits: Tuple[SinkHit, ...] = ()
+
+    def signature(self) -> tuple:
+        """Convergence signature: steps excluded, shape only."""
+        return (
+            frozenset((t.kind, t.label) for t in self.returns),
+            frozenset(
+                (name, hit.kind, hit.label, hit.sink, hit.line)
+                for name, hits in self.param_sinks.items()
+                for hit in hits
+            ),
+            self.returns_set,
+            frozenset(
+                (hit.kind, hit.label, hit.sink, hit.line)
+                for hit in self.sink_hits
+            ),
+        )
+
+
+def match_source(node: ast.expr) -> str | None:
+    """Source description when ``node`` reads nondeterministic state."""
+    if isinstance(node, ast.Subscript):
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "environ"
+            and root_name(value) == "os"
+        ):
+            return "environment read os.environ[...]"
+        return None
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "id" and node.args:
+            return "object address read id()"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    root = root_name(func)
+    attr = func.attr
+    if root == "time" and attr in TIME_FUNCTIONS:
+        return f"wall-clock call time.{attr}()"
+    if root == "datetime" and attr in DATETIME_FUNCTIONS:
+        return f"wall-clock call datetime.{attr}()"
+    if root == "os":
+        if attr in ("getpid", "getppid"):
+            return f"process id os.{attr}()"
+        if attr == "getenv":
+            return "environment read os.getenv(...)"
+        if attr == "urandom":
+            return "entropy read os.urandom(...)"
+        if (
+            attr == "get"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "environ"
+        ):
+            return "environment read os.environ.get(...)"
+    if root == "uuid" and attr in ("uuid1", "uuid4"):
+        return f"random identifier uuid.{attr}()"
+    if root == "secrets":
+        return f"entropy read secrets.{attr}()"
+    if root == "random":
+        if attr in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                return f"unseeded RNG random.{attr}()"
+            return None
+        return f"global RNG call random.{attr}()"
+    if (
+        isinstance(func.value, ast.Attribute)
+        and func.value.attr == "random"
+        and root in ("np", "numpy")
+    ):
+        if attr in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                return f"unseeded RNG numpy.random.{attr}()"
+            return None
+        return f"numpy global RNG call numpy.random.{attr}()"
+    return None
+
+
+def match_sink(node: ast.Call) -> str | None:
+    """Sink description when ``node``'s arguments feed results."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id == "SimulationResult":
+            return "SimulationResult construction"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr == "SimulationResult":
+        return "SimulationResult construction"
+    if attr == "charge":
+        return "cycle accounting (.charge)"
+    if attr in METRIC_METHODS:
+        return f"metrics emission (.{attr})"
+    if attr == "emit":
+        return "event emission (.emit)"
+    if root_name(func) == "hashlib":
+        return f"cache digest (hashlib.{attr})"
+    return None
+
+
+def _merge(*groups: Iterable[Taint]) -> Taints:
+    """Union taint groups, deduplicating by origin, capped."""
+    seen: Dict[Tuple[str, str], Taint] = {}
+    for group in groups:
+        for taint in group:
+            key = (taint.kind, taint.label)
+            if key not in seen:
+                seen[key] = taint
+                if len(seen) >= MAX_TAINTS:
+                    return tuple(seen.values())
+    return tuple(seen.values())
+
+
+def _annotation_is_set(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        return text.split("[")[0] in (
+            "set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+            "MutableSet",
+        )
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name in (
+        "set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+        "MutableSet",
+    )
+
+
+class FunctionAnalyzer:
+    """Single-function taint and set-provenance walker."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        graph: CallGraph,
+        summaries: Mapping[tuple, FunctionSummary],
+        attr_taints: Dict[Tuple[ClassKey, str], Taints],
+        set_attrs: Mapping[str, str],
+    ) -> None:
+        self.fn = fn
+        self.path = fn.relpath
+        self.graph = graph
+        self.summaries = summaries
+        self.attr_taints = attr_taints
+        #: project-wide ``attr name -> note`` for set-annotated fields.
+        self.set_attrs = set_attrs
+        self.env: Dict[str, Taints] = {}
+        self.set_vars: Dict[str, SetEvidence] = {}
+        #: ``id()`` of comprehensions fed straight into an
+        #: order-insensitive builtin; their iteration is sanctioned.
+        self._order_exempt: set[int] = set()
+        self.local_types = graph._local_constructor_types(fn)
+        self.returns: List[Taint] = []
+        self.returns_set = False
+        self.set_note = ""
+        self.param_sinks: Dict[str, List[SinkHit]] = {}
+        self.sink_hits: List[SinkHit] = []
+        self.order_hits: List[OrderHit] = []
+        self.degradations: List[Degradation] = []
+        self._init_params()
+
+    def _init_params(self) -> None:
+        args = self.fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.arg == "self":
+                continue
+            self.env[arg.arg] = (Taint("param", arg.arg, ()),)
+            if _annotation_is_set(arg.annotation):
+                self.set_vars[arg.arg] = SetEvidence(
+                    origin="param",
+                    note=f"set-typed parameter {arg.arg!r}",
+                    path=self.path,
+                    line=arg.lineno,
+                    syntactic=False,
+                )
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def analyze(self) -> FunctionSummary:
+        for _ in range(2):
+            self.sink_hits.clear()
+            self.order_hits.clear()
+            self.degradations.clear()
+            self.param_sinks.clear()
+            self.returns.clear()
+            self._walk_block(self.fn.node.body)
+        if _annotation_is_set(self.fn.node.returns):
+            self.returns_set = True
+            self.set_note = (
+                f"set-annotated return of {self.fn.qualname}()"
+            )
+        return FunctionSummary(
+            returns=_merge(self.returns),
+            param_sinks={
+                name: tuple(hits)
+                for name, hits in sorted(self.param_sinks.items())
+            },
+            returns_set=self.returns_set,
+            set_note=self.set_note
+            or f"set returned by {self.fn.qualname}()",
+            sink_hits=tuple(self.sink_hits),
+        )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _walk_block(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scopes are analyzed through their own entry
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taints = self._eval(stmt.value)
+                self._assign(stmt.target, taints, stmt.value)
+            if isinstance(stmt.target, ast.Name) and _annotation_is_set(
+                stmt.annotation
+            ):
+                self.set_vars.setdefault(
+                    stmt.target.id,
+                    SetEvidence(
+                        origin="literal",
+                        note=f"set-annotated {stmt.target.id!r}",
+                        path=self.path,
+                        line=stmt.lineno,
+                        syntactic=False,
+                    ),
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                taints = _merge(
+                    taints, self.env.get(stmt.target.id, ())
+                )
+            self._assign(stmt.target, taints, stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                step = Step(
+                    self.path,
+                    stmt.lineno,
+                    f"returned from {self.fn.qualname}()",
+                )
+                for taint in self._eval(stmt.value):
+                    self.returns.append(taint.extended(step))
+                evidence = self.set_evidence(stmt.value)
+                if evidence is not None:
+                    self.returns_set = True
+                    self.set_note = evidence.note
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._check_iteration(stmt.iter, stmt.lineno, "for-loop")
+            taints = self._eval(stmt.iter)
+            self._assign(stmt.target, taints, stmt.iter)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._walk_block(stmt.body)
+            self._walk_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(
+                        item.optional_vars, taints, item.context_expr
+                    )
+            self._walk_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body)
+            self._walk_block(stmt.orelse)
+            self._walk_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+        elif isinstance(stmt, ast.Match):
+            self._eval(stmt.subject)
+            for case in stmt.cases:
+                self._walk_block(case.body)
+
+    def _assign(
+        self, target: ast.expr, taints: Taints, value: ast.expr
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if taints:
+                self.env[target.id] = _merge(
+                    self.env.get(target.id, ()), taints
+                )
+            evidence = self.set_evidence(value)
+            if evidence is not None:
+                self.set_vars[target.id] = evidence
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._assign(element, taints, value)
+            return
+        if isinstance(target, ast.Attribute):
+            if target.attr == "clock" and taints:
+                self._record_sinks(
+                    taints,
+                    "cycle accounting (clock update)",
+                    target.lineno,
+                )
+            if (
+                isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and self.fn.class_name is not None
+                and taints
+            ):
+                class_key = (self.fn.relpath, self.fn.class_name)
+                step = Step(
+                    self.path,
+                    target.lineno,
+                    f"stored in self.{target.attr}",
+                )
+                stored = tuple(t.extended(step) for t in taints)
+                slot = (class_key, target.attr)
+                self.attr_taints[slot] = _merge(
+                    self.attr_taints.get(slot, ()), stored
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            base = root_name(target.value)
+            if base is not None and taints:
+                self.env[base] = _merge(self.env.get(base, ()), taints)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: ast.expr) -> Taints:
+        if isinstance(expr, ast.Constant):
+            return ()
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, ())
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and self.fn.class_name is not None
+            ):
+                class_key = (self.fn.relpath, self.fn.class_name)
+                return self.attr_taints.get((class_key, expr.attr), ())
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.Subscript):
+            source = match_source(expr)
+            if source is not None:
+                return (
+                    Taint(
+                        "source",
+                        source,
+                        (Step(self.path, expr.lineno, source),),
+                    ),
+                )
+            return self._eval(expr.value)
+        if isinstance(expr, ast.BinOp):
+            return _merge(self._eval(expr.left), self._eval(expr.right))
+        if isinstance(expr, ast.BoolOp):
+            return _merge(*(self._eval(v) for v in expr.values))
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.Compare):
+            return _merge(
+                self._eval(expr.left),
+                *(self._eval(c) for c in expr.comparators),
+            )
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return _merge(self._eval(expr.body), self._eval(expr.orelse))
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return _merge(*(self._eval(e) for e in expr.elts))
+        if isinstance(expr, ast.Dict):
+            parts = [self._eval(v) for v in expr.values]
+            parts.extend(
+                self._eval(k) for k in expr.keys if k is not None
+            )
+            return _merge(*parts)
+        if isinstance(expr, ast.JoinedStr):
+            return _merge(
+                *(
+                    self._eval(v.value)
+                    for v in expr.values
+                    if isinstance(v, ast.FormattedValue)
+                )
+            )
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        if isinstance(
+            expr,
+            (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp),
+        ):
+            exempt = id(expr) in self._order_exempt
+            for comp in expr.generators:
+                if not exempt:
+                    self._check_iteration(
+                        comp.iter, comp.iter.lineno, "comprehension"
+                    )
+                self._eval(comp.iter)
+            parts: List[Taints] = []
+            if isinstance(expr, ast.DictComp):
+                parts.append(self._eval(expr.key))
+                parts.append(self._eval(expr.value))
+            else:
+                parts.append(self._eval(expr.elt))
+            return _merge(*parts)
+        if isinstance(expr, ast.Lambda):
+            return ()
+        parts = [
+            self._eval(child)
+            for child in ast.iter_child_nodes(expr)
+            if isinstance(child, ast.expr)
+        ]
+        return _merge(*parts)
+
+    def _call(self, call: ast.Call) -> Taints:
+        source = match_source(call)
+        if source is not None:
+            for arg in call.args:
+                self._eval(arg)
+            return (
+                Taint(
+                    "source",
+                    source,
+                    (Step(self.path, call.lineno, source),),
+                ),
+            )
+        self._check_dynamic_attr(call)
+        if (
+            isinstance(call.func, ast.Name)
+            and call.func.id in ORDER_INSENSITIVE_CALLS
+        ):
+            for arg in call.args:
+                self._order_exempt.add(id(arg))
+        arg_taints = [self._eval(a) for a in call.args]
+        kw_taints = {
+            kw.arg: self._eval(kw.value)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        star_kw = [
+            self._eval(kw.value)
+            for kw in call.keywords
+            if kw.arg is None
+        ]
+        obj_taints: Taints = ()
+        if isinstance(call.func, ast.Attribute):
+            obj_taints = self._eval(call.func.value)
+        sink = match_sink(call)
+        if sink is not None:
+            incoming = _merge(*arg_taints, *kw_taints.values(), *star_kw)
+            self._record_sinks(incoming, sink, call.lineno)
+        callee = self.graph.resolve_call(call, self.fn, self.local_types)
+        if callee is not None:
+            summary = self.summaries.get(callee.key)
+            if summary is not None:
+                return self._apply_summary(
+                    call, callee, summary, arg_taints, kw_taints,
+                    obj_taints,
+                )
+        # Unresolved calls propagate their inputs: a value computed
+        # from a tainted argument is itself tainted.
+        if isinstance(call.func, ast.Name) and call.func.id == "sorted":
+            pass  # sorting sanitizes order, not value; still propagate
+        return _merge(
+            *arg_taints, *kw_taints.values(), *star_kw, obj_taints
+        )
+
+    def _apply_summary(
+        self,
+        call: ast.Call,
+        callee: FunctionInfo,
+        summary: FunctionSummary,
+        arg_taints: List[Taints],
+        kw_taints: Dict[str, Taints],
+        obj_taints: Taints,
+    ) -> Taints:
+        params = callee.params
+        if params and params[0] == "self":
+            params = params[1:]
+        by_param: Dict[str, Taints] = {}
+        for index, taints in enumerate(arg_taints):
+            if index < len(params):
+                by_param[params[index]] = taints
+        for name, taints in kw_taints.items():
+            by_param[name] = taints
+        call_step = Step(
+            self.path,
+            call.lineno,
+            f"through call to {callee.qualname}()",
+        )
+        out: List[Taint] = []
+        for taint in summary.returns:
+            if taint.kind == "source":
+                out.append(taint.extended(call_step))
+            else:
+                for incoming in by_param.get(taint.label, ()):
+                    steps = incoming.steps + taint.steps
+                    out.append(
+                        Taint(
+                            incoming.kind,
+                            incoming.label,
+                            steps[:MAX_TRACE_STEPS],
+                        ).extended(call_step)
+                    )
+        for name, hits in summary.param_sinks.items():
+            for incoming in by_param.get(name, ()):
+                for hit in hits:
+                    steps = (
+                        incoming.steps + (call_step,) + hit.steps
+                    )[:MAX_TRACE_STEPS]
+                    carried = SinkHit(
+                        kind=incoming.kind,
+                        label=incoming.label,
+                        sink=hit.sink,
+                        path=hit.path,
+                        line=hit.line,
+                        steps=steps,
+                    )
+                    self._store_hit(carried)
+        return _merge(out, obj_taints)
+
+    def _record_sinks(
+        self, taints: Taints, sink: str, line: int
+    ) -> None:
+        for taint in taints:
+            steps = taint.steps + (
+                Step(self.path, line, f"reaches {sink}"),
+            )
+            self._store_hit(
+                SinkHit(
+                    kind=taint.kind,
+                    label=taint.label,
+                    sink=sink,
+                    path=self.path,
+                    line=line,
+                    steps=steps[:MAX_TRACE_STEPS],
+                )
+            )
+
+    def _store_hit(self, hit: SinkHit) -> None:
+        if hit.kind == "source":
+            self.sink_hits.append(hit)
+        else:
+            self.param_sinks.setdefault(hit.label, []).append(hit)
+
+    def _check_dynamic_attr(self, call: ast.Call) -> None:
+        func = call.func
+        if not isinstance(func, ast.Name):
+            return
+        if func.id not in ("getattr", "setattr", "delattr"):
+            return
+        if len(call.args) < 2:
+            return
+        if isinstance(call.args[1], ast.Constant):
+            return
+        self.degradations.append(
+            Degradation(
+                kind="dynamic-attr",
+                path=self.path,
+                line=call.lineno,
+                note=(
+                    f"{func.id}() with a computed attribute name in "
+                    f"{self.fn.qualname}(): dataflow through this "
+                    "attribute is invisible to simflow"
+                ),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # order (set) analysis
+    # ------------------------------------------------------------------
+
+    def _check_iteration(
+        self, iter_expr: ast.expr, line: int, what: str
+    ) -> None:
+        evidence = self.set_evidence(iter_expr)
+        if evidence is None:
+            return
+        steps = evidence.steps + (
+            Step(
+                self.path,
+                line,
+                f"{what} iterates the unordered set",
+            ),
+        )
+        self.order_hits.append(
+            OrderHit(
+                path=self.path,
+                line=line,
+                note=evidence.note,
+                syntactic=evidence.syntactic,
+                steps=steps[:MAX_TRACE_STEPS],
+            )
+        )
+
+    def set_evidence(self, expr: ast.expr) -> SetEvidence | None:
+        """Evidence that ``expr`` evaluates to an unordered set."""
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return SetEvidence(
+                "literal", "a set literal", self.path, expr.lineno, True
+            )
+        if isinstance(expr, ast.Name):
+            return self.set_vars.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in SET_ATTRIBUTES:
+                return SetEvidence(
+                    "attribute",
+                    f"set attribute .{expr.attr}",
+                    self.path,
+                    expr.lineno,
+                    True,
+                )
+            note = self.set_attrs.get(expr.attr)
+            if note is not None:
+                return SetEvidence(
+                    "attribute",
+                    f"set-annotated attribute .{expr.attr} ({note})",
+                    self.path,
+                    expr.lineno,
+                    False,
+                )
+            return None
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)
+        ):
+            return self.set_evidence(expr.left) or self.set_evidence(
+                expr.right
+            )
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return SetEvidence(
+                        "literal",
+                        f"{func.id}(...) constructor",
+                        self.path,
+                        expr.lineno,
+                        True,
+                    )
+                if func.id in ("tuple", "list", "iter") and (
+                    len(expr.args) == 1
+                ):
+                    return self.set_evidence(expr.args[0])
+                if func.id == "sorted":
+                    return None
+            if isinstance(func, ast.Attribute):
+                if func.attr in SET_RETURNING_METHODS:
+                    return SetEvidence(
+                        "call",
+                        f"set-returning method .{func.attr}()",
+                        self.path,
+                        expr.lineno,
+                        True,
+                    )
+                if func.attr == "copy":
+                    return self.set_evidence(func.value)
+            resolved = self.graph.resolve_call(
+                expr, self.fn, self.local_types
+            )
+            if resolved is not None:
+                summary = self.summaries.get(resolved.key)
+                if summary is not None and summary.returns_set:
+                    return SetEvidence(
+                        "call",
+                        f"set built by {resolved.qualname}() "
+                        f"({summary.set_note})",
+                        self.path,
+                        expr.lineno,
+                        False,
+                        steps=(
+                            Step(
+                                resolved.relpath,
+                                resolved.node.lineno,
+                                f"{resolved.qualname}() returns a set",
+                            ),
+                        ),
+                    )
+        return None

@@ -6,6 +6,6 @@ decorator at import time).  Add new rule modules to the import list
 below; see docs/static_analysis.md for the recipe.
 """
 
-from repro.lint.rules import consistency, determinism, hygiene
+from repro.lint.rules import consistency, determinism, flow, hygiene
 
-__all__ = ["consistency", "determinism", "hygiene"]
+__all__ = ["consistency", "determinism", "flow", "hygiene"]

@@ -1,0 +1,130 @@
+"""Inline suppressions: ``# simlint: ignore[RULE-ID]``.
+
+A suppression comment silences one rule on one line.  It may sit on
+the flagged line itself or on the line directly above it (for lines
+that are already at the 79-column budget).  Every suppression must
+earn its keep: one that silences nothing is itself reported as a
+GRIT-S001 warning, so stale suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.symbols import ModuleInfo
+
+#: Rule id reported for suppressions that silence nothing.
+UNUSED_SUPPRESSION_RULE_ID = "GRIT-S001"
+
+_SUPPRESSION = re.compile(
+    r"#\s*simlint:\s*ignore\[(?P<rules>[A-Z0-9,\-\s]+)\]"
+)
+
+
+class Suppression:
+    """One ``# simlint: ignore[...]`` comment and the lines it covers."""
+
+    def __init__(
+        self, relpath: str, line: int, rule_id: str, own_line: bool
+    ) -> None:
+        self.relpath = relpath
+        self.line = line
+        self.rule_id = rule_id
+        #: A comment on its own line targets the line below as well.
+        self.own_line = own_line
+        self.used = False
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule_id != self.rule_id:
+            return False
+        if finding.path != self.relpath:
+            return False
+        if finding.line == self.line:
+            return True
+        return self.own_line and finding.line == self.line + 1
+
+
+def collect_suppressions(module: ModuleInfo) -> List[Suppression]:
+    """Parse every suppression comment in one module's source.
+
+    Tokenized, not regexed over raw lines, so the marker inside a
+    string literal (docs, rule hints) is not a suppression.
+    """
+    found: List[Suppression] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(
+                io.StringIO(module.source).readline
+            )
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION.search(token.string)
+        if match is None:
+            continue
+        lineno, col = token.start
+        own_line = token.line[:col].strip() == ""
+        for rule_id in match.group("rules").split(","):
+            rule_id = rule_id.strip()
+            if rule_id:
+                found.append(
+                    Suppression(module.relpath, lineno, rule_id, own_line)
+                )
+    return found
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    modules: Iterable[ModuleInfo],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Filter suppressed findings; flag suppressions that did nothing.
+
+    Returns ``(kept, unused)`` where ``unused`` holds one GRIT-S001
+    warning per suppression comment that matched no finding.
+    """
+    by_path: Dict[str, List[Suppression]] = {}
+    for module in modules:
+        suppressions = collect_suppressions(module)
+        if suppressions:
+            by_path[module.relpath] = suppressions
+    kept: List[Finding] = []
+    for finding in findings:
+        matched = False
+        for suppression in by_path.get(finding.path, ()):
+            if suppression.covers(finding):
+                suppression.used = True
+                matched = True
+        if not matched:
+            kept.append(finding)
+    unused: List[Finding] = []
+    reported: Set[Tuple[str, int, str]] = set()
+    for relpath in sorted(by_path):
+        for suppression in by_path[relpath]:
+            if suppression.used:
+                continue
+            key = (relpath, suppression.line, suppression.rule_id)
+            if key in reported:
+                continue
+            reported.add(key)
+            unused.append(
+                Finding(
+                    rule_id=UNUSED_SUPPRESSION_RULE_ID,
+                    severity=Severity.WARNING,
+                    path=relpath,
+                    line=suppression.line,
+                    message=(
+                        f"suppression of {suppression.rule_id} "
+                        "silences nothing: the finding it targeted is "
+                        "gone"
+                    ),
+                    hint="delete the stale # simlint: ignore comment",
+                )
+            )
+    return kept, unused

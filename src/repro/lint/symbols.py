@@ -54,6 +54,9 @@ class SymbolTable:
         self._attribute_uses: Dict[
             str, Dict[str, List[Tuple[str, int]]]
         ] = {}
+        self._attribute_loads: Dict[str, List[Tuple[str, int]]] | None = (
+            None
+        )
 
     @classmethod
     def scan(
@@ -186,3 +189,27 @@ class SymbolTable:
                     )
         self._attribute_uses[base_name] = uses
         return uses
+
+    def attribute_loads(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Where ``<anything>.<attr>`` is *read*, per attribute name.
+
+        Returns ``{attr: [(relpath, line), ...]}`` for every attribute
+        access in load context across every module, regardless of the
+        base expression.  The config-provenance pass uses this to decide
+        whether a config field is consumed anywhere; tolerating name
+        collisions between unrelated objects keeps the pass free of
+        false positives at the cost of missing collided dead fields.
+        """
+        if self._attribute_loads is not None:
+            return self._attribute_loads
+        loads: Dict[str, List[Tuple[str, int]]] = {}
+        for info in self.iter_modules():
+            for node in ast.walk(info.tree):
+                if isinstance(node, ast.Attribute) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    loads.setdefault(node.attr, []).append(
+                        (info.relpath, node.lineno)
+                    )
+        self._attribute_loads = loads
+        return loads

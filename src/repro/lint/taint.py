@@ -1,0 +1,194 @@
+"""Project-level taint fixpoint: the simflow analysis entry point.
+
+:class:`FlowAnalysis` drives :class:`~repro.lint.dataflow.
+FunctionAnalyzer` over every function in the simulation scope until the
+function summaries stop changing, then exposes:
+
+* ``value_hits`` — nondeterminism sources reaching result sinks
+  (GRIT-F001), each with the full source-to-sink trace;
+* ``order_hits`` — unordered sets iterated where the per-file D003
+  rule is blind (GRIT-F002);
+* ``degradations`` — spots where the analysis lost precision but kept
+  going (dynamic attribute names, per-function analysis failures) for
+  the GRIT-P001/P002 warnings.
+
+The analysis is memoized per :class:`SymbolTable` instance so the five
+flow rules share one fixpoint per lint run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from repro.lint.callgraph import CallGraph, ClassKey, FunctionKey
+from repro.lint.dataflow import (
+    Degradation,
+    FunctionAnalyzer,
+    FunctionSummary,
+    OrderHit,
+    SinkHit,
+    Taints,
+    _annotation_is_set,
+)
+from repro.lint.symbols import SymbolTable
+
+#: Directories whose functions the flow passes analyze.  ``obs/`` is
+#: excluded deliberately (the profiler reads the wall clock by design,
+#: and its outputs never feed simulated results); ``workloads/`` uses
+#: seeded RNGs by design and is covered by GRIT-D002.
+FLOW_SCOPE: Tuple[str, ...] = (
+    "core/",
+    "harness/",
+    "interconnect/",
+    "memsys/",
+    "policies/",
+    "prefetch/",
+    "sim/",
+    "stats/",
+    "uvm/",
+)
+
+#: Fixpoint round cap; summaries converge in 2-3 rounds in practice.
+MAX_ROUNDS = 6
+
+
+def in_flow_scope(relpath: str) -> bool:
+    return any(relpath.startswith(prefix) for prefix in FLOW_SCOPE)
+
+
+class FlowAnalysis:
+    """One converged interprocedural analysis over a symbol table."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.graph = CallGraph.of(symbols)
+        self.set_attrs = self._collect_set_attrs()
+        self.summaries: Dict[FunctionKey, FunctionSummary] = {}
+        self.value_hits: List[SinkHit] = []
+        self.order_hits: List[OrderHit] = []
+        self.degradations: List[Degradation] = []
+        self._run()
+
+    @classmethod
+    def of(cls, symbols: SymbolTable) -> "FlowAnalysis":
+        cached = getattr(symbols, "_simflow_analysis", None)
+        if cached is None:
+            cached = cls(symbols)
+            symbols._simflow_analysis = cached  # type: ignore[attr-defined]
+        return cached
+
+    def _collect_set_attrs(self) -> Dict[str, str]:
+        """``attr -> defining class`` for set-annotated class fields."""
+        found: Dict[str, str] = {}
+        for info in self.symbols.iter_modules():
+            if not in_flow_scope(info.relpath):
+                continue
+            for node in info.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        if _annotation_is_set(stmt.annotation):
+                            found.setdefault(
+                                stmt.target.id,
+                                f"declared on {node.name}",
+                            )
+        return found
+
+    def _scope_functions(self):
+        return [
+            fn
+            for fn in self.graph.iter_functions()
+            if in_flow_scope(fn.relpath)
+        ]
+
+    def _run(self) -> None:
+        functions = self._scope_functions()
+        attr_taints: Dict[Tuple[ClassKey, str], Taints] = {}
+        signatures: Dict[FunctionKey, tuple] = {}
+        final: Dict[str, List] = {}
+        for _ in range(MAX_ROUNDS):
+            changed = False
+            round_hits: List[SinkHit] = []
+            round_order: List[OrderHit] = []
+            round_degradations: List[Degradation] = []
+            for fn in functions:
+                try:
+                    analyzer = FunctionAnalyzer(
+                        fn,
+                        self.graph,
+                        self.summaries,
+                        attr_taints,
+                        self.set_attrs,
+                    )
+                    summary = analyzer.analyze()
+                except Exception as exc:
+                    round_degradations.append(
+                        Degradation(
+                            kind="analysis-failure",
+                            path=fn.relpath,
+                            line=fn.node.lineno,
+                            note=(
+                                f"flow analysis of {fn.qualname}() "
+                                f"failed ({type(exc).__name__}: {exc}); "
+                                "findings in this function may be "
+                                "incomplete"
+                            ),
+                        )
+                    )
+                    continue
+                self.summaries[fn.key] = summary
+                signature = summary.signature()
+                if signatures.get(fn.key) != signature:
+                    signatures[fn.key] = signature
+                    changed = True
+                round_hits.extend(summary.sink_hits)
+                round_order.extend(analyzer.order_hits)
+                round_degradations.extend(analyzer.degradations)
+            final["hits"] = round_hits
+            final["order"] = round_order
+            final["degradations"] = round_degradations
+            if not changed:
+                break
+        self.value_hits = self._dedupe_hits(final.get("hits", []))
+        self.order_hits = self._dedupe_order(final.get("order", []))
+        self.degradations = self._dedupe_degradations(
+            final.get("degradations", [])
+        )
+
+    @staticmethod
+    def _dedupe_hits(hits: List[SinkHit]) -> List[SinkHit]:
+        seen: Dict[tuple, SinkHit] = {}
+        for hit in hits:
+            key = (hit.path, hit.line, hit.label, hit.sink)
+            best = seen.get(key)
+            if best is None or len(hit.steps) < len(best.steps):
+                seen[key] = hit
+        return sorted(
+            seen.values(), key=lambda h: (h.path, h.line, h.label)
+        )
+
+    @staticmethod
+    def _dedupe_order(hits: List[OrderHit]) -> List[OrderHit]:
+        seen: Dict[tuple, OrderHit] = {}
+        for hit in hits:
+            key = (hit.path, hit.line)
+            if key not in seen:
+                seen[key] = hit
+        return sorted(seen.values(), key=lambda h: (h.path, h.line))
+
+    @staticmethod
+    def _dedupe_degradations(
+        degradations: List[Degradation],
+    ) -> List[Degradation]:
+        seen: Dict[tuple, Degradation] = {}
+        for degradation in degradations:
+            key = (degradation.kind, degradation.path, degradation.line)
+            if key not in seen:
+                seen[key] = degradation
+        return sorted(
+            seen.values(), key=lambda d: (d.path, d.line, d.kind)
+        )

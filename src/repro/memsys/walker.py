@@ -85,4 +85,10 @@ class PageTableWalker:
         if overflow <= 0:
             return 0
         # Each excess walk waits behind one walker's leaf fetch.
-        return overflow * self.config.latency_per_level
+        penalty = overflow * self.config.latency_per_level
+        beyond_queue = overflow - self.config.walk_queue_entries
+        if beyond_queue > 0:
+            # The 64-entry walk queue is full too: late arrivals stall
+            # until a whole walk drains, not just a leaf fetch.
+            penalty += beyond_queue * self.config.full_walk_latency
+        return penalty

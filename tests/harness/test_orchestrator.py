@@ -5,7 +5,10 @@ import multiprocessing
 import os
 import time
 
+import pytest
+
 from repro.config import SystemConfig
+from repro.harness import orchestrator
 from repro.harness.cache import DiskCachedRunner
 from repro.harness.experiment import ExperimentRunner
 from repro.harness.orchestrator import (
@@ -265,3 +268,60 @@ class TestExecuteTask:
         key = runner.key("fir", "grit")
         (task,) = tasks_for([key], base_config=NON_DEFAULT_CONFIG)
         _assert_identical(execute_task(task), runner.run(key))
+
+
+class _FakeConn:
+    """Pipe stand-in that records what the worker ships back."""
+
+    def __init__(self):
+        self.sent = []
+        self.closed = False
+
+    def send(self, payload):
+        self.sent.append(payload)
+
+    def close(self):
+        self.closed = True
+
+
+class TestWorkerMain:
+    """Regression: the worker must report failures, not swallow them."""
+
+    def test_task_failure_is_reported_over_the_pipe(self, monkeypatch):
+        def explode(task, inline):
+            raise ValueError("synthetic task failure")
+
+        monkeypatch.setattr(orchestrator, "execute_task", explode)
+        conn = _FakeConn()
+        orchestrator._worker_main(object(), conn)
+        (outcome,) = conn.sent
+        assert outcome[0] == "error"
+        assert "synthetic task failure" in outcome[1]
+        assert conn.closed
+
+    def test_cancellation_is_reported_and_reraised(self, monkeypatch):
+        def interrupt(task, inline):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(orchestrator, "execute_task", interrupt)
+        conn = _FakeConn()
+        with pytest.raises(KeyboardInterrupt):
+            orchestrator._worker_main(object(), conn)
+        (outcome,) = conn.sent
+        assert outcome[0] == "error"
+        assert conn.closed
+
+    def test_dead_pipe_does_not_mask_the_outcome(self, monkeypatch):
+        def interrupt(task, inline):
+            raise KeyboardInterrupt
+
+        class _DeadConn(_FakeConn):
+            def send(self, payload):
+                raise OSError("broken pipe")
+
+        monkeypatch.setattr(orchestrator, "execute_task", interrupt)
+        conn = _DeadConn()
+        # The cancellation still propagates even when reporting fails.
+        with pytest.raises(KeyboardInterrupt):
+            orchestrator._worker_main(object(), conn)
+        assert conn.closed

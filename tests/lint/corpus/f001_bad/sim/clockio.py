@@ -1,0 +1,7 @@
+"""Seeded GRIT-F001 violation: a helper that reads the wall clock."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,8 @@
+"""The tainted helper value crosses a module into cycle accounting."""
+
+from sim.clockio import stamp
+
+
+def account(breakdown):
+    jitter = stamp()
+    breakdown.charge("fault", jitter)

@@ -1,0 +1,5 @@
+"""Fixed corpus: the helper derives its value from simulated state."""
+
+
+def stamp():
+    return 0.0

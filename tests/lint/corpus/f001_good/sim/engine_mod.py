@@ -1,0 +1,8 @@
+"""Same shape as the bad corpus, but the value is deterministic."""
+
+from sim.clockio import stamp
+
+
+def account(breakdown):
+    jitter = stamp()
+    breakdown.charge("fault", jitter)

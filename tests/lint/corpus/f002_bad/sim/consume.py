@@ -1,0 +1,11 @@
+"""Iterating the helper-returned set leaks its order."""
+
+from sim.groups import holders_of
+
+
+def total(pages):
+    count = 0
+    for page in pages:
+        for gpu in holders_of(page):
+            count += gpu
+    return count

@@ -1,0 +1,7 @@
+"""Seeded GRIT-F002 violation: a helper that hands back a set."""
+
+
+def holders_of(page):
+    owners = {page.owner}
+    owners.add(page.home)
+    return owners

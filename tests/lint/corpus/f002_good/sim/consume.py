@@ -1,0 +1,11 @@
+"""Fixed corpus: sorted() makes the iteration order explicit."""
+
+from sim.groups import holders_of
+
+
+def total(pages):
+    count = 0
+    for page in pages:
+        for gpu in sorted(holders_of(page)):
+            count += gpu
+    return count

@@ -1,0 +1,7 @@
+"""Same helper as the bad corpus: it still returns a set."""
+
+
+def holders_of(page):
+    owners = {page.owner}
+    owners.add(page.home)
+    return owners

@@ -1,0 +1,14 @@
+"""Seeded GRIT-F003 violation: one knob is dead."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class TunerConfig:
+    live_knob: int = 4
+    dead_knob: int = 8
+
+    def __post_init__(self):
+        # Validation alone is not consumption: the knob stays dead.
+        if self.dead_knob <= 0:
+            raise ValueError("dead_knob must be positive")

@@ -1,0 +1,7 @@
+"""Reads only the live knob; names an env var nobody reads."""
+
+TUNER_ENV = "GRIT_TUNER"
+
+
+def effective(config):
+    return config.live_knob * 2

@@ -1,0 +1,12 @@
+"""Fixed corpus: every knob is consumed.
+
+The GRIT_TUNER environment variable mirrors ``TunerConfig.live_knob``
+at runtime (documented here so the round-trip check passes).
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class TunerConfig:
+    live_knob: int = 4

@@ -1,0 +1,10 @@
+"""Reads the knob and the env var that mirrors it."""
+
+import os
+
+TUNER_ENV = "GRIT_TUNER"
+
+
+def effective(config):
+    base = config.live_knob
+    return int(os.environ.get(TUNER_ENV, base))

@@ -1,0 +1,24 @@
+"""Seeded GRIT-F004 violations: unread flag, undispatched command."""
+
+import argparse
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="command")
+    run = sub.add_parser("run")
+    run.add_argument("--workload")
+    run.add_argument("--ghost-flag")
+    sub.add_parser("orphan")
+    return parser
+
+
+def _cmd_run(args):
+    return 0 if args.workload else 1
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return 2

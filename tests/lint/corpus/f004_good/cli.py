@@ -1,0 +1,31 @@
+"""Fixed corpus: helper-added flags, reads through a helper chain."""
+
+import argparse
+
+
+def _add_common(parser):
+    parser.add_argument("--scale")
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser()
+    sub = parser.add_subparsers(dest="command")
+    run = sub.add_parser("run")
+    run.add_argument("--workload")
+    _add_common(run)
+    return parser
+
+
+def _run_impl(args):
+    return float(args.scale or 1.0) if args.workload else 0.0
+
+
+def _cmd_run(args):
+    return int(_run_impl(args))
+
+
+def main(argv=None):
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    return 2

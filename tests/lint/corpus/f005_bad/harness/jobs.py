@@ -1,0 +1,11 @@
+"""A worker-reachable helper that leaks a handle and eats errors."""
+
+
+def run_job():
+    log = open("job.log", "w")
+    try:
+        log.write("start")
+    except Exception:
+        pass
+    log.close()
+    return 1

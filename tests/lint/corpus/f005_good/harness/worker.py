@@ -1,0 +1,23 @@
+"""Fixed worker: failures reported, cancellation re-raised."""
+
+import multiprocessing
+
+from harness.jobs import run_job
+
+
+def _worker_main(conn):
+    try:
+        conn.send(run_job())
+    except Exception:
+        conn.send("failed")
+    except BaseException:
+        conn.send("cancelled")
+        raise
+    finally:
+        conn.close()
+
+
+def spawn(conn):
+    proc = multiprocessing.Process(target=_worker_main, args=(conn,))
+    proc.start()
+    return proc

@@ -1,0 +1,98 @@
+"""Incremental analysis cache: correctness first, then speed."""
+
+import time
+from pathlib import Path
+
+import repro
+from repro.lint import LintEngine
+
+PACKAGE_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = PACKAGE_ROOT.parent.parent
+
+
+def write_package(tmp_path):
+    root = tmp_path / "pkg"
+    (root / "sim").mkdir(parents=True)
+    (root / "sim" / "a.py").write_text(
+        "def alpha():\n    return 1\n"
+    )
+    (root / "sim" / "b.py").write_text(
+        "def beta():\n    return 2\n"
+    )
+    return root
+
+
+class TestCacheCorrectness:
+    def test_edit_invalidates_only_the_touched_module(self, tmp_path):
+        root = write_package(tmp_path)
+        cache = tmp_path / "cache.json"
+        engine = LintEngine(root, cache_path=cache)
+        engine.run()
+        assert engine.stats.module_hits == 0
+
+        (root / "sim" / "b.py").write_text(
+            "def beta():\n    return 3\n"
+        )
+        engine = LintEngine(root, cache_path=cache)
+        engine.run()
+        assert engine.stats.modules == 2
+        assert engine.stats.module_hits == 1
+        assert engine.stats.project_hit is False
+
+    def test_unchanged_rerun_is_a_full_project_hit(self, tmp_path):
+        root = write_package(tmp_path)
+        cache = tmp_path / "cache.json"
+        LintEngine(root, cache_path=cache).run()
+        engine = LintEngine(root, cache_path=cache)
+        engine.run()
+        assert engine.stats.project_hit is True
+        assert engine.stats.module_hits == engine.stats.modules == 2
+
+    def test_no_cache_path_means_no_cache_file(self, tmp_path):
+        root = write_package(tmp_path)
+        engine = LintEngine(root)
+        engine.run()
+        assert engine.stats.module_hits == 0
+        assert engine.stats.project_hit is False
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        root = write_package(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        engine = LintEngine(root, cache_path=cache)
+        findings = engine.run()
+        assert isinstance(findings, list)
+        assert engine.stats.project_hit is False
+
+    def test_explicit_paths_bypass_the_cache(self, tmp_path):
+        root = write_package(tmp_path)
+        cache = tmp_path / "cache.json"
+        engine = LintEngine(root, cache_path=cache)
+        engine.run(paths=[root / "sim" / "a.py"])
+        assert not cache.exists()
+
+
+class TestCacheSpeed:
+    def test_warm_rerun_is_at_least_three_times_faster(self, tmp_path):
+        cache = tmp_path / "cache.json"
+
+        start = time.perf_counter()
+        cold = LintEngine(
+            PACKAGE_ROOT, repo_root=REPO_ROOT, cache_path=cache
+        )
+        cold_findings = cold.run()
+        cold_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = LintEngine(
+            PACKAGE_ROOT, repo_root=REPO_ROOT, cache_path=cache
+        )
+        warm_findings = warm.run()
+        warm_elapsed = time.perf_counter() - start
+
+        assert warm.stats.project_hit is True
+        assert [f.to_dict() for f in warm_findings] == [
+            f.to_dict() for f in cold_findings
+        ]
+        assert warm_elapsed * 3 <= cold_elapsed

@@ -1,0 +1,254 @@
+"""Resolution strategies of the project-wide call graph."""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.symbols import SymbolTable
+
+
+def make_graph(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return CallGraph(SymbolTable.scan(root))
+
+
+def only_call(info):
+    calls = [
+        node
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Call)
+    ]
+    assert len(calls) == 1
+    return calls[0]
+
+
+def resolve(graph, relpath, qualname):
+    info = graph.function(relpath, qualname)
+    assert info is not None
+    return graph.resolve_call(only_call(info), info)
+
+
+class TestResolution:
+    def test_same_module_name(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                def helper():
+                    return 1
+
+
+                def entry():
+                    return helper()
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "entry")
+        assert target is not None
+        assert target.qualname == "helper"
+
+    def test_from_import_resolves_cross_module(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                from sim.b import helper
+
+
+                def entry():
+                    return helper()
+                """,
+                "sim/b.py": """\
+                def helper():
+                    return 2
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "entry")
+        assert target is not None
+        assert target.relpath == "sim/b.py"
+
+    def test_package_qualified_import_resolves(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                from pkg.sim.b import helper
+
+
+                def entry():
+                    return helper()
+                """,
+                "sim/b.py": """\
+                def helper():
+                    return 2
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "entry")
+        assert target is not None
+        assert target.relpath == "sim/b.py"
+
+    def test_module_alias(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                import sim.b as helpers
+
+
+                def entry():
+                    return helpers.helper()
+                """,
+                "sim/b.py": """\
+                def helper():
+                    return 2
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "entry")
+        assert target is not None
+        assert target.qualname == "helper"
+
+    def test_self_method_with_base_class_walk(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                class Base:
+                    def shared(self):
+                        return 0
+
+
+                class Child(Base):
+                    def entry(self):
+                        return self.shared()
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "Child.entry")
+        assert target is not None
+        assert target.qualname == "Base.shared"
+
+    def test_constructor_typed_attribute(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                class Helper:
+                    def work(self):
+                        return 1
+
+
+                class Owner:
+                    def __init__(self):
+                        self.h = Helper()
+
+                    def entry(self):
+                        return self.h.work()
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "Owner.entry")
+        assert target is not None
+        assert target.qualname == "Helper.work"
+
+    def test_local_constructor_binding(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                class Helper:
+                    def work(self):
+                        return 1
+
+
+                def entry():
+                    h = Helper()
+                    return h.work()
+                """,
+            },
+        )
+        entry = graph.function("sim/a.py", "entry")
+        closure = {fn.qualname for fn in graph.reachable([entry])}
+        assert "Helper.work" in closure
+
+    def test_class_call_resolves_to_init(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                class Helper:
+                    def __init__(self):
+                        self.x = 1
+
+
+                def entry():
+                    return Helper()
+                """,
+            },
+        )
+        target = resolve(graph, "sim/a.py", "entry")
+        assert target is not None
+        assert target.qualname == "Helper.__init__"
+
+    def test_unresolvable_call_returns_none(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                def entry(d):
+                    return d.get("x")
+                """,
+            },
+        )
+        assert resolve(graph, "sim/a.py", "entry") is None
+
+
+class TestReachability:
+    def test_reachable_closure_follows_cycles_once(self, tmp_path):
+        graph = make_graph(
+            tmp_path,
+            {
+                "sim/a.py": """\
+                from sim.b import pong
+
+
+                def ping(n):
+                    return pong(n)
+
+
+                def unrelated():
+                    return 9
+                """,
+                "sim/b.py": """\
+                from sim.a import ping
+
+
+                def pong(n):
+                    return ping(n)
+                """,
+            },
+        )
+        root = graph.function("sim/a.py", "ping")
+        closure = {fn.qualname for fn in graph.reachable([root])}
+        assert closure == {"ping", "pong"}
+
+    def test_real_package_worker_closure_is_cross_module(self):
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        graph = CallGraph(SymbolTable.scan(package_root))
+        root = graph.function("harness/orchestrator.py", "_worker_main")
+        assert root is not None
+        closure = graph.reachable([root])
+        modules = {fn.relpath for fn in closure}
+        # The worker entry point must pull in the simulation stack —
+        # a tiny closure means import resolution silently broke.
+        assert len(closure) > 20
+        assert len(modules) > 5

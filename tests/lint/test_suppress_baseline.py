@@ -1,0 +1,159 @@
+"""Inline suppressions and the accepted-findings baseline."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import (
+    LintEngine,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding, Severity
+
+
+def make_package(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return root
+
+
+def run_lint(tmp_path, source):
+    root = make_package(tmp_path, {"sim/mod.py": source})
+    return LintEngine(root).run()
+
+
+class TestSuppressions:
+    def test_same_line_marker_silences_the_finding(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """\
+            import time
+
+
+            def stamp():
+                return time.time()  # simlint: ignore[GRIT-D001]
+            """,
+        )
+        assert [f for f in findings if f.rule_id == "GRIT-D001"] == []
+        assert [f for f in findings if f.rule_id == "GRIT-S001"] == []
+
+    def test_own_line_marker_covers_the_next_line(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """\
+            import time
+
+
+            def stamp():
+                # simlint: ignore[GRIT-D001]
+                return time.time()
+            """,
+        )
+        assert [f for f in findings if f.rule_id == "GRIT-D001"] == []
+        assert [f for f in findings if f.rule_id == "GRIT-S001"] == []
+
+    def test_unused_marker_is_reported_as_s001(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """\
+            def quiet():
+                return 1  # simlint: ignore[GRIT-D001]
+            """,
+        )
+        hits = [f for f in findings if f.rule_id == "GRIT-S001"]
+        assert len(hits) == 1
+        assert hits[0].line == 2
+        assert "GRIT-D001" in hits[0].message
+        assert hits[0].severity.value == "warning"
+
+    def test_marker_inside_string_literal_is_inert(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """\
+            HINT = "write # simlint: ignore[GRIT-D001] to suppress"
+            """,
+        )
+        assert [f for f in findings if f.rule_id == "GRIT-S001"] == []
+
+    def test_marker_can_name_several_rules(self, tmp_path):
+        findings = run_lint(
+            tmp_path,
+            """\
+            import time
+
+
+            def stamp(breakdown):
+                # simlint: ignore[GRIT-D001, GRIT-F001]
+                breakdown.charge("x", time.time())
+            """,
+        )
+        flagged = {
+            f.rule_id
+            for f in findings
+            if f.rule_id in ("GRIT-D001", "GRIT-F001", "GRIT-S001")
+        }
+        assert flagged == set()
+
+
+def sample_finding(message="knob is dead", path="config.py"):
+    return Finding(
+        rule_id="GRIT-F003",
+        severity=Severity.ERROR,
+        path=path,
+        line=3,
+        col=0,
+        message=message,
+    )
+
+
+class TestBaseline:
+    def test_round_trip_filters_matching_findings(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        finding = sample_finding()
+        write_baseline(path, [finding])
+        entries = load_baseline(path)
+        kept, matched = apply_baseline([finding], entries)
+        assert kept == []
+        assert matched == 1
+
+    def test_line_number_is_not_part_of_the_match(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [sample_finding()])
+        moved = Finding(
+            rule_id="GRIT-F003",
+            severity=Severity.ERROR,
+            path="config.py",
+            line=99,
+            col=4,
+            message="knob is dead",
+        )
+        kept, matched = apply_baseline([moved], load_baseline(path))
+        assert kept == []
+        assert matched == 1
+
+    def test_each_entry_absorbs_at_most_one_finding(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [sample_finding()])
+        pair = [sample_finding(), sample_finding()]
+        kept, matched = apply_baseline(pair, load_baseline(path))
+        assert matched == 1
+        assert len(kept) == 1
+
+    def test_unrelated_findings_pass_through(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [sample_finding()])
+        fresh = sample_finding(message="a different defect")
+        kept, matched = apply_baseline([fresh], load_baseline(path))
+        assert kept == [fresh]
+        assert matched == 0
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError):
+            load_baseline(path)

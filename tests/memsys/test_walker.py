@@ -1,6 +1,9 @@
 """Page-table walker and page-walk cache."""
 
+import pytest
+
 from repro.config import WalkerConfig
+from repro.errors import ConfigError
 from repro.memsys.walker import PageTableWalker, PageWalkCache
 
 
@@ -58,3 +61,38 @@ class TestPageTableWalker:
         for vpn in range(5):
             walker.walk(vpn, now=vpn)
         assert walker.walks == 5
+
+
+class TestWalkQueueBackPressure:
+    """Regression: the 64-entry walk queue used to be dead config."""
+
+    CONFIG = WalkerConfig(
+        walkers=1,
+        walk_queue_entries=2,
+        latency_per_level=10,
+        levels=4,
+    )
+
+    def test_overflow_beyond_queue_pays_a_full_walk(self):
+        walker = PageTableWalker(self.CONFIG)
+        latencies = [walker.walk(0, now=0) for _ in range(4)]
+        # Walk 1 misses cold (40); walks 2-3 hit the PWC (10) and
+        # queue one and two leaf fetches deep (+10/+20); walk 4 also
+        # overflows the 2-entry walk queue and stalls a full drain.
+        assert latencies == [40, 20, 30, 80]
+
+    def test_queue_depth_scales_the_stall(self):
+        deep = WalkerConfig(
+            walkers=1,
+            walk_queue_entries=3,
+            latency_per_level=10,
+            levels=4,
+        )
+        walker = PageTableWalker(deep)
+        latencies = [walker.walk(0, now=0) for _ in range(4)]
+        # Same arrivals, deeper queue: the fourth walk still fits.
+        assert latencies == [40, 20, 30, 40]
+
+    def test_zero_entry_queue_is_rejected(self):
+        with pytest.raises(ConfigError):
+            WalkerConfig(walk_queue_entries=0)
