@@ -18,6 +18,9 @@ Commands:
 * ``inspect`` — reconstruct page lifecycles from the structured event
   log (``--vpn N`` for one page, otherwise the busiest pages).
 * ``profile`` — wall-time phase profile of the simulator itself.
+* ``bench`` — run the figure benchmarks, write ``BENCH_<name>.json``
+  baselines, and gate fresh measurements against committed baselines
+  (``--compare``).
 * ``lint`` — run the simlint static-analysis pass over the simulator.
 """
 
@@ -120,6 +123,69 @@ def _build_parser() -> argparse.ArgumentParser:
     profile_cmd.add_argument("policy", choices=available_policies())
     profile_cmd.add_argument("--gpus", type=int, default=4)
     profile_cmd.add_argument("--scale", type=float, default=0.3)
+    profile_cmd.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the phase timings as metrics JSON-lines "
+        "('-' for stdout)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf benchmarks and gate against baselines",
+    )
+    bench.add_argument(
+        "--cases",
+        default=None,
+        help="comma-separated case names (default: the full suite)",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="trace scale (default: $REPRO_BENCH_SCALE or 0.05)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="repetitions per case for the min-of-N estimate",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="write one BENCH_<name>.json baseline per case into DIR",
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="DIR",
+        default=None,
+        help="gate this run against the baselines in DIR; exits "
+        "nonzero on regressions",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative wall-time slowdown tolerated by --compare "
+        "(default 0.25)",
+    )
+    bench.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="compare deterministic simulator counters only (for "
+        "baselines written on different hardware)",
+    )
+    bench.add_argument(
+        "--inject-slowdown",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="gate drill: add SECONDS to every wall sample and verify "
+        "--compare fails",
+    )
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
     fig.add_argument("name", choices=[*sorted(FIGURES), "all"])
@@ -249,6 +315,32 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="chaos drill: crash the first attempt of one task and "
         "verify the orchestrator retries it",
+    )
+    sweep.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="merge every task's spans into one sweep-wide Chrome "
+        "trace (one process row per task) at PATH",
+    )
+    sweep.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="merge every task's counters into one registry export "
+        "at PATH",
+    )
+    sweep.add_argument(
+        "--metrics-format",
+        choices=["jsonl", "csv", "prom"],
+        default="jsonl",
+    )
+    sweep.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        default=None,
+        help="spill oversized per-task telemetry to files in DIR "
+        "instead of the result pipe",
     )
 
     lint = sub.add_parser(
@@ -501,6 +593,87 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         f"{result.total_cycles:,} simulated cycles"
     )
     print(profiled.profiler.render())
+    if args.json == "-":
+        print(profiled.profiler.to_jsonl(), end="")
+    elif args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(profiled.profiler.to_jsonl())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+    from repro.obs.catalog import build_bench_registry
+
+    try:
+        cases = bench.select_cases(
+            [
+                name.strip()
+                for name in args.cases.split(",")
+                if name.strip()
+            ]
+            if args.cases
+            else None
+        )
+        scale = (
+            args.scale if args.scale is not None else bench.default_scale()
+        )
+        registry = build_bench_registry()
+        results = bench.run_suite(
+            cases,
+            scale,
+            repeats=args.repeats or bench.DEFAULT_REPEATS,
+            registry=registry,
+            inject_slowdown=args.inject_slowdown,
+        )
+    except bench.BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for result in results:
+        wall = min(result.wall_seconds)
+        print(
+            f"{result.case.name:<16s} min {wall:7.3f}s of "
+            f"{result.repeats}  "
+            f"{result.counters['total_cycles']:,} cycles"
+        )
+    if args.output:
+        for result in results:
+            path = bench.write_baseline(args.output, result)
+            print(f"wrote {path}")
+    if not args.compare:
+        return 0
+    try:
+        regressions, notes = bench.compare_suite(
+            results,
+            args.compare,
+            threshold=(
+                args.threshold
+                if args.threshold is not None
+                else bench.DEFAULT_THRESHOLD
+            ),
+            counters_only=args.counters_only,
+            registry=registry,
+        )
+    except bench.BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    for finding in regressions:
+        print(
+            f"regression [{finding.kind}] {finding.case}: "
+            f"{finding.message}",
+            file=sys.stderr,
+        )
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) against "
+            f"{args.compare}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate passed against {args.compare}")
     return 0
 
 
@@ -608,6 +781,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for workload in workloads
         for policy in policies
     ]
+    observe = bool(args.trace or args.metrics)
     summary = run_sweep(
         keys,
         base_config=runner.base_config,
@@ -617,8 +791,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=args.cache,
         injections=_sweep_injections(args, keys),
         progress=lambda line: print(f"  {line}", file=sys.stderr),
+        observe=observe,
+        telemetry_dir=args.telemetry_dir,
     )
     runner._cache.update(summary.results)
+    if observe:
+        status = _write_sweep_telemetry(args, summary)
+        if status != 0:
+            return status
     if args.summary_json:
         with open(args.summary_json, "w", encoding="utf-8") as handle:
             json.dump(summary.to_dict(), handle, indent=2)
@@ -655,6 +835,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     )
     print(summary.render(), file=sys.stderr)
+    return 0
+
+
+def _write_sweep_telemetry(args: argparse.Namespace, summary) -> int:
+    """Write the merged sweep trace and/or metrics export.
+
+    Runs before the failed-keys check so a partially-failed sweep
+    still leaves its successful tasks' telemetry on disk.
+    """
+    import json
+
+    from repro.obs.aggregate import merge_chrome_trace, merge_registry
+    from repro.obs.trace_schema import validate_trace_file
+
+    telemetries = list(summary.telemetry.values())
+    if not telemetries:
+        print(
+            "warning: sweep produced no telemetry (all tasks failed?)",
+            file=sys.stderr,
+        )
+        return 0
+    if args.trace:
+        document = merge_chrome_trace(
+            telemetries,
+            metadata={"scale": args.scale, "gpus": args.gpus},
+        )
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        errors = validate_trace_file(args.trace)
+        if errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"wrote {args.trace} "
+            f"({len(document['traceEvents'])} events, "
+            f"{len(telemetries)} task processes)"
+        )
+    if args.metrics:
+        registry = merge_registry(telemetries)
+        if args.metrics_format == "csv":
+            payload = registry.to_csv()
+        elif args.metrics_format == "prom":
+            payload = registry.to_prometheus()
+        else:
+            payload = registry.to_jsonl()
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.metrics}")
     return 0
 
 
@@ -821,6 +1050,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_inspect(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "lint":

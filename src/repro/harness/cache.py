@@ -126,11 +126,13 @@ class DiskCachedRunner(ExperimentRunner):
         base_config: SystemConfig | None = None,
         scale: float = 0.3,
         artifacts_dir: str | None = None,
+        observe: bool = False,
     ) -> None:
         super().__init__(
             base_config=base_config,
             scale=scale,
             artifacts_dir=artifacts_dir,
+            observe=observe,
         )
         self.cache_dir = str(cache_dir)
         os.makedirs(self.cache_dir, exist_ok=True)
@@ -149,6 +151,7 @@ class DiskCachedRunner(ExperimentRunner):
         if result is not None:
             self._cache[key] = result
             self.disk_hits += 1
+            self.last_observation = None
             return result
         result = super().run(key)
         self.disk_misses += 1

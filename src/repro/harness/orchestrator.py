@@ -47,6 +47,11 @@ from repro.config import SystemConfig
 from repro.errors import ReproError
 from repro.harness.experiment import ExperimentRunner, RunKey
 from repro.obs import catalog
+from repro.obs.aggregate import (
+    TaskTelemetry,
+    TelemetryError,
+    telemetry_from_payload,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.result import SimulationResult
 
@@ -114,13 +119,36 @@ class SweepTask:
     #: Observability artifact export directory (None: no export).
     artifacts_dir: str | None = None
     injection: FaultInjection | None = None
+    #: Record spans + metrics in the worker and ship them back to the
+    #: orchestrator.  Observed runs always simulate fresh (the disk
+    #: cache stores result summaries, not spans), so ``cache_dir`` is
+    #: bypassed while observing.
+    observe: bool = False
+    #: Directory oversized telemetry payloads spill into as artifact
+    #: files instead of travelling over the result pipe.
+    telemetry_dir: str | None = None
 
 
-def execute_task(task: SweepTask, inline: bool = True) -> SimulationResult:
-    """Run one task exactly as a sequential runner would."""
+def execute_task_observed(
+    task: SweepTask, inline: bool = True
+) -> Tuple[SimulationResult, TaskTelemetry | None]:
+    """Run one task; returns its result plus telemetry if observed.
+
+    Telemetry comes from exactly this attempt's fresh
+    :class:`~repro.obs.RunObservation` — a retried task therefore
+    carries only the successful attempt's counters, never a partial
+    double-count from failed attempts.
+    """
     if task.injection is not None:
         task.injection.fire(inline)
-    if task.cache_dir is not None:
+    if task.observe:
+        runner = ExperimentRunner(
+            base_config=task.base_config,
+            scale=task.key.scale,
+            artifacts_dir=task.artifacts_dir,
+            observe=True,
+        )
+    elif task.cache_dir is not None:
         from repro.harness.cache import DiskCachedRunner
 
         runner: ExperimentRunner = DiskCachedRunner(
@@ -135,7 +163,27 @@ def execute_task(task: SweepTask, inline: bool = True) -> SimulationResult:
             scale=task.key.scale,
             artifacts_dir=task.artifacts_dir,
         )
-    return runner.run(task.key)
+    started = time.perf_counter()
+    result = runner.run(task.key)
+    wall = time.perf_counter() - started
+    telemetry = None
+    if task.observe and runner.last_observation is not None:
+        telemetry = TaskTelemetry.from_observation(
+            task_id=_task_id(task.key),
+            workload=task.key.workload,
+            policy=task.key.policy,
+            observation=runner.last_observation,
+            dropped_events=int(
+                result.details.get("dropped_events", 0) or 0
+            ),
+            wall_seconds=wall,
+        )
+    return result, telemetry
+
+
+def execute_task(task: SweepTask, inline: bool = True) -> SimulationResult:
+    """Run one task exactly as a sequential runner would."""
+    return execute_task_observed(task, inline=inline)[0]
 
 
 def _send_outcome(conn, payload) -> None:
@@ -150,14 +198,20 @@ def _send_outcome(conn, payload) -> None:
 def _worker_main(task: SweepTask, conn) -> None:
     """Child-process entry point: run the task, ship the outcome.
 
-    Task failures are reported over the pipe as ``("error", tb)``.
-    Cancellation (KeyboardInterrupt/SystemExit) is reported too but
-    then re-raised so the child dies with a nonzero exit status
-    instead of masquerading as a clean run.
+    A success is reported as ``("ok", (result, telemetry_payload))``
+    where the payload is None for unobserved tasks, an inline dict for
+    small telemetry, or a spill-file reference for large traces (see
+    :mod:`repro.obs.aggregate`).  Task failures are reported over the
+    pipe as ``("error", tb)``.  Cancellation (KeyboardInterrupt/
+    SystemExit) is reported too but then re-raised so the child dies
+    with a nonzero exit status instead of masquerading as a clean run.
     """
     try:
-        result = execute_task(task, inline=False)
-        _send_outcome(conn, ("ok", result))
+        result, telemetry = execute_task_observed(task, inline=False)
+        payload = None
+        if telemetry is not None:
+            payload = telemetry.to_payload(task.telemetry_dir)
+        _send_outcome(conn, ("ok", (result, payload)))
     except Exception:
         _send_outcome(conn, ("error", traceback.format_exc()))
     except BaseException:
@@ -205,6 +259,7 @@ def result_digest(result: SimulationResult) -> str:
 
 
 def _task_id(key: RunKey) -> str:
+    # simlint: ignore[GRIT-F001]  (display name, not a result digest)
     digest = hashlib.sha1(repr(key).encode("utf-8")).hexdigest()[:8]
     return f"{key.workload}/{key.policy}-{digest}"
 
@@ -217,6 +272,12 @@ class SweepSummary:
     reports: List[TaskReport]
     workers: int
     elapsed: float
+    #: Per-task observability shipped back by observed workers, keyed
+    #: like ``results``; populated only for ``observe=True`` tasks and
+    #: always from the successful attempt alone.
+    telemetry: Dict[RunKey, TaskTelemetry] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def tasks(self) -> int:
@@ -305,6 +366,7 @@ class _InFlight:
     started: float
     deadline: float | None
     result: SimulationResult | None = None
+    telemetry: TaskTelemetry | None = None
 
 
 class SweepOrchestrator:
@@ -357,6 +419,7 @@ class SweepOrchestrator:
         self.registry.inc(catalog.SWEEP_TASKS, len(unique))
         reports = {task.key: TaskReport(key=task.key) for task in unique}
         results: Dict[RunKey, SimulationResult] = {}
+        telemetry: Dict[RunKey, TaskTelemetry] = {}
         requested = self.workers
         if requested is None:
             requested = os.cpu_count() or 1
@@ -365,10 +428,12 @@ class SweepOrchestrator:
         # crash or timeout cannot take down the orchestrator.
         workers = max(1, min(requested, len(unique) or 1))
         if requested <= 1:
-            self._run_inline(unique, results, reports)
+            self._run_inline(unique, results, reports, telemetry)
         else:
             try:
-                self._run_pooled(unique, results, reports, workers)
+                self._run_pooled(
+                    unique, results, reports, telemetry, workers
+                )
             except (OSError, ImportError) as error:
                 # Platforms without working process support: degrade to
                 # inline execution for everything not yet resolved.
@@ -383,12 +448,13 @@ class SweepOrchestrator:
                 for key in list(reports):
                     if key not in results:
                         reports[key].attempts.clear()
-                self._run_inline(remaining, results, reports)
+                self._run_inline(remaining, results, reports, telemetry)
         summary = SweepSummary(
             results=results,
             reports=[reports[task.key] for task in unique],
             workers=workers,
             elapsed=time.monotonic() - started,
+            telemetry=telemetry,
         )
         return summary
 
@@ -401,12 +467,15 @@ class SweepOrchestrator:
         tasks: Sequence[SweepTask],
         results: Dict[RunKey, SimulationResult],
         reports: Dict[RunKey, TaskReport],
+        telemetry: Dict[RunKey, TaskTelemetry],
     ) -> None:
         for task in tasks:
             for attempt in range(1, self.retries + 2):
                 begin = time.monotonic()
                 try:
-                    result = execute_task(task, inline=True)
+                    result, observed = execute_task_observed(
+                        task, inline=True
+                    )
                 except Exception:
                     self._record(
                         reports[task.key],
@@ -422,6 +491,9 @@ class SweepOrchestrator:
                         continue
                     break
                 results[task.key] = result
+                if observed is not None:
+                    telemetry[task.key] = observed
+                    self._record_telemetry(observed)
                 self._record(
                     reports[task.key],
                     TaskAttempt(
@@ -441,6 +513,7 @@ class SweepOrchestrator:
         tasks: Sequence[SweepTask],
         results: Dict[RunKey, SimulationResult],
         reports: Dict[RunKey, TaskReport],
+        telemetry: Dict[RunKey, TaskTelemetry],
         workers: int,
     ) -> None:
         ctx = self.mp_context or multiprocessing.get_context()
@@ -469,7 +542,8 @@ class SweepOrchestrator:
                     continue
                 del running[key]
                 self._resolve(
-                    flight, outcome, results, reports, delayed
+                    flight, outcome, results, reports, telemetry,
+                    delayed,
                 )
 
     def _spawn(
@@ -534,7 +608,20 @@ class SweepOrchestrator:
             flight.process.join(timeout=5.0)
             flight.conn.close()
             if kind == "ok":
-                flight.result = payload
+                result, tel_payload = payload
+                flight.result = result
+                if tel_payload is not None:
+                    try:
+                        flight.telemetry = telemetry_from_payload(
+                            tel_payload
+                        )
+                    except TelemetryError as error:
+                        # Telemetry is best-effort side data; a decode
+                        # failure must not fail the (successful) task.
+                        self._emit(
+                            f"{_task_id(flight.task.key)}: telemetry "
+                            f"dropped ({error})"
+                        )
                 return TaskAttempt(
                     outcome="ok", duration=now - flight.started
                 )
@@ -578,12 +665,19 @@ class SweepOrchestrator:
         attempt: TaskAttempt,
         results: Dict[RunKey, SimulationResult],
         reports: Dict[RunKey, TaskReport],
+        telemetry: Dict[RunKey, TaskTelemetry],
         delayed: List[Tuple[float, SweepTask, int]],
     ) -> None:
         key = flight.task.key
         if attempt.outcome == "ok":
             assert flight.result is not None
             results[key] = flight.result
+            # Only the successful attempt carries telemetry (failed
+            # attempts never ship any), so a retried task contributes
+            # exactly one clean run's counters to the aggregate.
+            if flight.telemetry is not None:
+                telemetry[key] = flight.telemetry
+                self._record_telemetry(flight.telemetry)
             self._record(reports[key], attempt, will_retry=False)
             return
         will_retry = flight.attempt <= self.retries
@@ -629,6 +723,39 @@ class SweepOrchestrator:
             f"({attempt.duration:.1f}s)"
         )
 
+    def _record_telemetry(self, telemetry: TaskTelemetry) -> None:
+        """Account one successful task's shipped telemetry.
+
+        The sweep registry is wall-clock-domain by contract (like the
+        retry/timeout counters); the telemetry object carries a
+        wall_seconds field, which taints it as a whole, but every
+        value counted below (span/drop counts, payload bytes) is a
+        deterministic function of the simulated run.
+        """
+        registry = self.registry
+        # simlint: ignore[GRIT-F001]  (see docstring)
+        registry.inc(catalog.SWEEP_WORKER_SPANS, len(telemetry.spans))
+        if telemetry.dropped_spans:
+            # simlint: ignore[GRIT-F001]  (see docstring)
+            registry.inc(
+                catalog.SWEEP_WORKER_DROPPED_SPANS,
+                telemetry.dropped_spans,
+            )
+        if telemetry.dropped_events:
+            # simlint: ignore[GRIT-F001]  (see docstring)
+            registry.inc(
+                catalog.SWEEP_WORKER_DROPPED_EVENTS,
+                telemetry.dropped_events,
+            )
+        if telemetry.payload_bytes:
+            # simlint: ignore[GRIT-F001]  (see docstring)
+            registry.inc(
+                catalog.SWEEP_WORKER_TELEMETRY_BYTES,
+                telemetry.payload_bytes,
+            )
+        if telemetry.spilled:
+            registry.inc(catalog.SWEEP_WORKER_SPILLS)
+
     def _sample_ts(self) -> int:
         self._samples += 1
         return self._samples
@@ -644,6 +771,8 @@ def tasks_for(
     cache_dir: str | None = None,
     artifacts_dir: str | None = None,
     injections: Dict[RunKey, FaultInjection] | None = None,
+    observe: bool = False,
+    telemetry_dir: str | None = None,
 ) -> List[SweepTask]:
     """Wrap run keys into self-contained sweep tasks."""
     config = base_config or SystemConfig()
@@ -655,6 +784,8 @@ def tasks_for(
             cache_dir=cache_dir,
             artifacts_dir=artifacts_dir,
             injection=injections.get(key),
+            observe=observe,
+            telemetry_dir=telemetry_dir,
         )
         for key in keys
     ]
@@ -672,6 +803,8 @@ def run_sweep(
     injections: Dict[RunKey, FaultInjection] | None = None,
     registry: MetricsRegistry | None = None,
     progress: Callable[[str], None] | None = None,
+    observe: bool = False,
+    telemetry_dir: str | None = None,
 ) -> SweepSummary:
     """One-call resilient sweep over ``keys``; see the module docs."""
     orchestrator = SweepOrchestrator(
@@ -689,5 +822,7 @@ def run_sweep(
             cache_dir=cache_dir,
             artifacts_dir=artifacts_dir,
             injections=injections,
+            observe=observe,
+            telemetry_dir=telemetry_dir,
         )
     )

@@ -1,0 +1,313 @@
+"""Cross-process telemetry aggregation for orchestrated sweeps.
+
+The sweep orchestrator (:mod:`repro.harness.orchestrator`) runs every
+task in its own worker process, which used to be where observability
+died: spans and metrics recorded inside a worker were garbage-collected
+with it.  This module is the bridge across the process boundary:
+
+* :class:`TaskTelemetry` captures one task's per-run observability —
+  its :class:`~repro.obs.tracer.SpanTracer` spans, final
+  :class:`~repro.obs.metrics.MetricsRegistry` counter/gauge values,
+  histogram buckets, sampled series, and event-log drop counts — as a
+  picklable, JSON-serializable value;
+* small payloads travel inline over the existing result pipe; payloads
+  past :data:`MAX_INLINE_SPANS` spill to a JSON artifact file and only
+  the path crosses the pipe (:meth:`TaskTelemetry.to_payload` /
+  :func:`telemetry_from_payload`);
+* :func:`merge_chrome_trace` renders every task as its own process row
+  of one sweep-wide Chrome trace (one ``pid`` per task, per-GPU
+  ``tid`` tracks preserved) that satisfies
+  :func:`repro.obs.trace_schema.validate_chrome_trace`;
+* :func:`merge_registry` folds the per-task registries into one
+  catalog registry: counters sum across tasks, histograms merge bucket
+  by bucket, and one sample per task records the sweep trajectory.
+
+Telemetry is carried only by the *successful* attempt of a task: a
+failed or crashed attempt ships nothing, so a retried task contributes
+exactly one clean run's counters — never a partial double-count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.obs.catalog import build_registry
+from repro.obs.metrics import MetricKind, MetricsRegistry
+from repro.obs.tracer import Span, trace_events
+
+#: Serialized telemetry schema; bump on shape changes so a stale spill
+#: file fails loudly instead of rehydrating with missing fields.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Spans above which a payload spills to an artifact file instead of
+#: travelling inline over the result pipe (pipes buffer in-memory; a
+#: million-span trace does not belong there).
+MAX_INLINE_SPANS = 20_000
+
+
+class TelemetryError(ValueError):
+    """A telemetry payload could not be decoded."""
+
+
+@dataclasses.dataclass
+class TaskTelemetry:
+    """One sweep task's observability, detached from its process."""
+
+    #: Stable task identifier (``workload/policy-digest``).
+    task_id: str
+    workload: str
+    policy: str
+    spans: List[Span]
+    #: ``(ts, name, value)`` rows sampled by the worker's registry.
+    counter_samples: List[Tuple[int, str, float]]
+    #: Final counter and gauge values keyed by catalog name.
+    values: Dict[str, float]
+    #: Histogram name -> ``{bounds, bucket_counts, count, total}``.
+    histograms: Dict[str, dict]
+    dropped_spans: int = 0
+    dropped_events: int = 0
+    #: Wall seconds the successful attempt spent simulating.
+    wall_seconds: float = 0.0
+    #: Serialized size of this telemetry (pipe or spill-file bytes).
+    payload_bytes: int = 0
+    #: True when the payload crossed the process boundary as a spill
+    #: file rather than inline over the pipe.
+    spilled: bool = False
+
+    @classmethod
+    def from_observation(
+        cls,
+        task_id: str,
+        workload: str,
+        policy: str,
+        observation,
+        dropped_events: int = 0,
+        wall_seconds: float = 0.0,
+    ) -> "TaskTelemetry":
+        """Capture a finished :class:`~repro.obs.run.RunObservation`."""
+        registry = observation.registry
+        values: Dict[str, float] = {}
+        histograms: Dict[str, dict] = {}
+        for name in registry.names():
+            if registry.spec(name).kind is MetricKind.HISTOGRAM:
+                data = registry.histogram(name)
+                histograms[name] = {
+                    "bounds": list(data.bounds),
+                    "bucket_counts": list(data.bucket_counts),
+                    "count": data.count,
+                    "total": data.total,
+                }
+            else:
+                values[name] = registry.value(name)
+        return cls(
+            task_id=task_id,
+            workload=workload,
+            policy=policy,
+            spans=list(observation.tracer.spans),
+            counter_samples=list(registry.samples),
+            values=values,
+            histograms=histograms,
+            dropped_spans=observation.tracer.dropped,
+            dropped_events=dropped_events,
+            wall_seconds=wall_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (spill files, tests)."""
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "task_id": self.task_id,
+            "workload": self.workload,
+            "policy": self.policy,
+            "spans": [
+                [
+                    span.name,
+                    span.track,
+                    span.start,
+                    span.duration,
+                    [list(pair) for pair in span.args],
+                ]
+                for span in self.spans
+            ],
+            "counter_samples": [
+                list(row) for row in self.counter_samples
+            ],
+            "values": dict(self.values),
+            "histograms": self.histograms,
+            "dropped_spans": self.dropped_spans,
+            "dropped_events": self.dropped_events,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskTelemetry":
+        """Inverse of :meth:`to_dict`; raises on schema drift."""
+        version = data.get("schema_version")
+        if version != TELEMETRY_SCHEMA_VERSION:
+            raise TelemetryError(
+                f"telemetry schema {version!r} != current "
+                f"{TELEMETRY_SCHEMA_VERSION}"
+            )
+        return cls(
+            task_id=data["task_id"],
+            workload=data["workload"],
+            policy=data["policy"],
+            spans=[
+                Span(
+                    name=name,
+                    track=track,
+                    start=start,
+                    duration=duration,
+                    args=tuple(
+                        (key, value) for key, value in args
+                    ),
+                )
+                for name, track, start, duration, args in data["spans"]
+            ],
+            counter_samples=[
+                (ts, name, value)
+                for ts, name, value in data["counter_samples"]
+            ],
+            values=dict(data["values"]),
+            histograms=dict(data["histograms"]),
+            dropped_spans=data["dropped_spans"],
+            dropped_events=data["dropped_events"],
+            wall_seconds=data["wall_seconds"],
+        )
+
+    def to_payload(self, spill_dir: str | None = None) -> dict:
+        """Pipe-sized representation: inline dict or a spill-file ref.
+
+        With ``spill_dir`` set and more than :data:`MAX_INLINE_SPANS`
+        spans recorded, the telemetry is written to
+        ``<spill_dir>/<task_id with / replaced>.telemetry.json`` and
+        only ``{"path": ...}`` crosses the pipe.  Without a spill
+        directory everything stays inline regardless of size.
+        """
+        document = self.to_dict()
+        encoded = json.dumps(document, sort_keys=True)
+        self.payload_bytes = len(encoded)
+        document["payload_bytes"] = self.payload_bytes
+        if spill_dir is not None and len(self.spans) > MAX_INLINE_SPANS:
+            os.makedirs(spill_dir, exist_ok=True)
+            stem = self.task_id.replace("/", "-")
+            path = os.path.join(spill_dir, f"{stem}.telemetry.json")
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(encoded)
+            os.replace(tmp, path)
+            return {"path": path, "payload_bytes": self.payload_bytes}
+        return {"inline": document, "payload_bytes": self.payload_bytes}
+
+
+def telemetry_from_payload(payload: dict) -> TaskTelemetry:
+    """Rehydrate a :meth:`TaskTelemetry.to_payload` value."""
+    if not isinstance(payload, dict):
+        raise TelemetryError(
+            f"telemetry payload is not an object: {payload!r}"
+        )
+    if "inline" in payload:
+        telemetry = TaskTelemetry.from_dict(payload["inline"])
+    elif "path" in payload:
+        try:
+            with open(payload["path"], "r", encoding="utf-8") as handle:
+                telemetry = TaskTelemetry.from_dict(json.load(handle))
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            raise TelemetryError(
+                f"cannot load spilled telemetry "
+                f"{payload['path']!r}: {exc}"
+            ) from exc
+        telemetry.spilled = True
+    else:
+        raise TelemetryError(
+            "telemetry payload has neither 'inline' nor 'path'"
+        )
+    telemetry.payload_bytes = int(payload.get("payload_bytes", 0))
+    return telemetry
+
+
+# ----------------------------------------------------------------------
+# sweep-wide merging
+# ----------------------------------------------------------------------
+
+
+def merge_chrome_trace(
+    telemetries: Sequence[TaskTelemetry],
+    metadata: Dict[str, object] | None = None,
+) -> dict:
+    """One Chrome trace document spanning every task of a sweep.
+
+    Each task renders as its own process (``pid`` = task order,
+    starting at 1; the process name is the task id) with its per-GPU
+    ``tid`` tracks intact, so Perfetto shows the whole sweep as
+    parallel process rows.  Counter samples keep their task's pid, so
+    per-task metric tracks stay separable.
+    """
+    ordered = sorted(telemetries, key=lambda tel: tel.task_id)
+    events: List[dict] = []
+    for index, telemetry in enumerate(ordered):
+        events.extend(
+            trace_events(
+                telemetry.spans,
+                telemetry.counter_samples,
+                pid=index + 1,
+                process_name=telemetry.task_id,
+            )
+        )
+    other: Dict[str, object] = {
+        "tasks": len(ordered),
+        "dropped_spans": sum(tel.dropped_spans for tel in ordered),
+        "dropped_events": sum(tel.dropped_events for tel in ordered),
+    }
+    if metadata:
+        other.update(metadata)
+    return {
+        "displayTimeUnit": "ns",
+        "otherData": other,
+        "traceEvents": events,
+    }
+
+
+def merge_registry(
+    telemetries: Sequence[TaskTelemetry],
+) -> MetricsRegistry:
+    """Fold per-task registries into one sweep-wide catalog registry.
+
+    Counters accumulate across tasks (final value = sweep total) and
+    one sample is recorded per task in task-id order, so the exported
+    series reads as the sweep trajectory with ``ts`` = task ordinal.
+    Gauges are per-run state, not additive: each sample carries the
+    owning task's final gauge values, and the registry's final gauge
+    value is simply the last task's (use the series for per-task
+    reads).  Histograms merge bucket by bucket.
+    """
+    registry = build_registry()
+    ordered = sorted(telemetries, key=lambda tel: tel.task_id)
+    totals: Dict[str, float] = {}
+    for index, telemetry in enumerate(ordered):
+        for name, value in sorted(telemetry.values.items()):
+            spec = registry.spec(name)
+            if spec.kind is MetricKind.COUNTER:
+                totals[name] = totals.get(name, 0.0) + value
+                registry.set_total(name, totals[name])
+            else:
+                registry.set_gauge(name, value)
+        for name, data in sorted(telemetry.histograms.items()):
+            merged = registry.histogram(name)
+            if list(data["bounds"]) != list(merged.bounds):
+                raise TelemetryError(
+                    f"histogram {name!r} bounds differ across tasks"
+                )
+            for slot, count in enumerate(data["bucket_counts"]):
+                merged.bucket_counts[slot] += count
+            merged.count += data["count"]
+            merged.total += data["total"]
+        registry.sample(index + 1)
+    return registry

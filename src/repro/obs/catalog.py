@@ -54,6 +54,23 @@ SWEEP_FAILURES = "harness.sweep.failures.total"
 SWEEP_TIMEOUTS = "harness.sweep.timeouts.total"
 SWEEP_CRASHES = "harness.sweep.crashes.total"
 
+# -- harness sweep worker-telemetry counters (cross-process
+#    observability: what the workers shipped back to the orchestrator;
+#    see repro.obs.aggregate) -----------------------------------------
+
+SWEEP_WORKER_SPANS = "harness.sweep.worker.spans.total"
+SWEEP_WORKER_DROPPED_SPANS = "harness.sweep.worker.dropped_spans.total"
+SWEEP_WORKER_DROPPED_EVENTS = "harness.sweep.worker.dropped_events.total"
+SWEEP_WORKER_TELEMETRY_BYTES = "harness.sweep.worker.telemetry_bytes.total"
+SWEEP_WORKER_SPILLS = "harness.sweep.worker.spills.total"
+
+# -- perf-trajectory counters (emitted by the repro bench harness; see
+#    repro.obs.bench) --------------------------------------------------
+
+BENCH_RUNS = "bench.runs.total"
+BENCH_COMPARISONS = "bench.comparisons.total"
+BENCH_REGRESSIONS = "bench.regressions.total"
+
 
 def _counter(
     name: str, description: str, unit: str = "events"
@@ -143,6 +160,52 @@ SWEEP_METRICS: Tuple[MetricSpec, ...] = (
         "worker processes that died without reporting a result",
         unit="attempts",
     ),
+    _counter(
+        SWEEP_WORKER_SPANS,
+        "spans collected from worker telemetry payloads",
+        unit="spans",
+    ),
+    _counter(
+        SWEEP_WORKER_DROPPED_SPANS,
+        "spans worker tracers dropped past capacity",
+        unit="spans",
+    ),
+    _counter(
+        SWEEP_WORKER_DROPPED_EVENTS,
+        "machine events worker event logs dropped past capacity",
+    ),
+    _counter(
+        SWEEP_WORKER_TELEMETRY_BYTES,
+        "serialized telemetry bytes shipped over the result pipe "
+        "or spilled to artifact files",
+        unit="bytes",
+    ),
+    _counter(
+        SWEEP_WORKER_SPILLS,
+        "telemetry payloads too large for the pipe, spilled to "
+        "artifact files instead",
+        unit="payloads",
+    ),
+)
+
+
+#: Perf-trajectory metrics: registered by :func:`build_bench_registry`
+#: for ``repro bench`` runs (wall-clock domain, never per simulated
+#: run).
+BENCH_METRICS: Tuple[MetricSpec, ...] = (
+    _counter(
+        BENCH_RUNS, "benchmark case repetitions executed", unit="runs"
+    ),
+    _counter(
+        BENCH_COMPARISONS,
+        "benchmark cases compared against a baseline",
+        unit="cases",
+    ),
+    _counter(
+        BENCH_REGRESSIONS,
+        "regressions flagged by the perf-trajectory gate",
+        unit="findings",
+    ),
 )
 
 
@@ -158,5 +221,13 @@ def build_sweep_registry() -> MetricsRegistry:
     """A fresh registry with the sweep-orchestrator metrics."""
     registry = MetricsRegistry()
     for spec in SWEEP_METRICS:
+        registry.register(spec)
+    return registry
+
+
+def build_bench_registry() -> MetricsRegistry:
+    """A fresh registry with the perf-trajectory (bench) metrics."""
+    registry = MetricsRegistry()
+    for spec in BENCH_METRICS:
         registry.register(spec)
     return registry

@@ -53,6 +53,51 @@ class PhaseProfiler:
         lines.append(f"{'total':<{width}s}  {total:9.3f}s  100.0%")
         return "\n".join(lines)
 
+    def to_registry(self):
+        """The phases as a :class:`MetricsRegistry` of gauges.
+
+        One ``profile.phase.<name>`` gauge per phase (repeated phase
+        names sum their seconds) plus a ``profile.total`` gauge, all
+        sampled once at ts 0 — which makes every registry exporter
+        (JSONL, CSV, Prometheus) a profile exporter for free.
+        """
+        from repro.obs.metrics import (
+            MetricKind,
+            MetricSpec,
+            MetricsRegistry,
+        )
+
+        registry = MetricsRegistry()
+        merged: dict[str, float] = {}
+        for name, seconds in self.phases:
+            merged[name] = merged.get(name, 0.0) + seconds
+        for name, seconds in merged.items():
+            metric = f"profile.phase.{name}"
+            registry.register(
+                MetricSpec(
+                    name=metric,
+                    kind=MetricKind.GAUGE,
+                    description=f"wall seconds in the {name} phase",
+                    unit="seconds",
+                )
+            )
+            registry.set_gauge(metric, seconds)
+        registry.register(
+            MetricSpec(
+                name="profile.total",
+                kind=MetricKind.GAUGE,
+                description="wall seconds across all phases",
+                unit="seconds",
+            )
+        )
+        registry.set_gauge("profile.total", self.total_seconds())
+        registry.sample(0)
+        return registry
+
+    def to_jsonl(self) -> str:
+        """Phase timings as metrics JSON-lines (``profile --json``)."""
+        return self.to_registry().to_jsonl()
+
 
 @dataclasses.dataclass(frozen=True)
 class ProfiledRun:

@@ -196,22 +196,22 @@ def _track_sort_key(track: str) -> Tuple[int, int, str]:
     return (3, 0, track)
 
 
-def to_chrome_trace(
-    tracer: SpanTracer,
+def trace_events(
+    spans: Sequence[Span],
     counter_samples: Sequence[Tuple[int, str, float]] = (),
-    metadata: Dict[str, object] | None = None,
-) -> dict:
-    """Render spans (and optional metric samples) as a Chrome trace.
+    pid: int = 0,
+    process_name: str = "GRIT simulator (cycles as us)",
+) -> List[dict]:
+    """Render spans (and metric samples) as trace events for one pid.
 
-    The result is a JSON-ready dict following the trace-event format:
-    ``X`` (complete) events for spans, ``i`` (instant) events for
-    zero-duration spans, ``C`` (counter) events for metric samples, and
-    ``M`` metadata events naming the process and per-track threads.
-    One simulated cycle is rendered as one trace microsecond.
+    ``M`` metadata events name the process and its per-track threads,
+    ``X``/``i`` events carry the spans, and ``C`` events carry the
+    counter samples.  The sweep aggregator calls this once per worker
+    task with a distinct ``pid``, so every task renders as its own
+    process row while keeping per-GPU ``tid`` tracks.
     """
-    pid = 0
     tracks = sorted(
-        {span.track for span in tracer.spans}, key=_track_sort_key
+        {span.track for span in spans}, key=_track_sort_key
     )
     tids = {track: index + 1 for index, track in enumerate(tracks)}
     events: List[dict] = [
@@ -220,7 +220,7 @@ def to_chrome_trace(
             "name": "process_name",
             "pid": pid,
             "tid": 0,
-            "args": {"name": "GRIT simulator (cycles as us)"},
+            "args": {"name": process_name},
         }
     ]
     for track in tracks:
@@ -233,7 +233,7 @@ def to_chrome_trace(
                 "args": {"name": track},
             }
         )
-    for span in tracer.spans:
+    for span in spans:
         record: dict = {
             "name": span.name,
             "cat": "sim",
@@ -260,13 +260,29 @@ def to_chrome_trace(
                 "args": {"value": value},
             }
         )
+    return events
+
+
+def to_chrome_trace(
+    tracer: SpanTracer,
+    counter_samples: Sequence[Tuple[int, str, float]] = (),
+    metadata: Dict[str, object] | None = None,
+) -> dict:
+    """Render spans (and optional metric samples) as a Chrome trace.
+
+    The result is a JSON-ready dict following the trace-event format:
+    ``X`` (complete) events for spans, ``i`` (instant) events for
+    zero-duration spans, ``C`` (counter) events for metric samples, and
+    ``M`` metadata events naming the process and per-track threads.
+    One simulated cycle is rendered as one trace microsecond.
+    """
     other: Dict[str, object] = {"dropped_spans": tracer.dropped}
     if metadata:
         other.update(metadata)
     return {
         "displayTimeUnit": "ns",
         "otherData": other,
-        "traceEvents": events,
+        "traceEvents": trace_events(tracer.spans, counter_samples),
     }
 
 

@@ -86,6 +86,49 @@ class TestEquivalence:
         assert default.total_cycles != tweaked.total_cycles
 
 
+class TestRetriedTaskTelemetry:
+    def test_counters_come_from_the_successful_attempt_only(
+        self, tmp_path
+    ):
+        """Regression: a retried task's telemetry must equal one clean
+        run's — failed attempts must never leak partial counters."""
+        runner = ExperimentRunner(scale=SCALE, observe=True)
+        key = runner.key("fir", "grit")
+        clean = runner.run(key)
+        summary = run_sweep(
+            [key],
+            workers=2,
+            observe=True,
+            injections={
+                key: FaultInjection(_marker(tmp_path), mode="raise")
+            },
+        )
+        assert summary.retries == 1
+        telemetry = summary.telemetry[key]
+        accesses = telemetry.values[catalog.SIM_ACCESSES]
+        assert accesses == clean.counters.accesses
+        assert telemetry.values[
+            catalog.UVM_MIGRATIONS
+        ] == clean.counters.migrations
+        expected = len(runner.last_observation.tracer.spans)
+        assert len(telemetry.spans) == expected
+
+    def test_failed_task_ships_no_telemetry(self, tmp_path):
+        runner = ExperimentRunner(scale=SCALE)
+        key = runner.key("fir", "on_touch")
+        summary = run_sweep(
+            [key],
+            workers=2,
+            retries=0,
+            observe=True,
+            injections={
+                key: FaultInjection(_marker(tmp_path), mode="raise")
+            },
+        )
+        assert summary.failures == 1
+        assert summary.telemetry == {}
+
+
 class TestFailurePaths:
     def test_worker_crash_is_isolated_and_retried(self, tmp_path):
         runner = ExperimentRunner(scale=SCALE)
@@ -291,7 +334,9 @@ class TestWorkerMain:
         def explode(task, inline):
             raise ValueError("synthetic task failure")
 
-        monkeypatch.setattr(orchestrator, "execute_task", explode)
+        monkeypatch.setattr(
+            orchestrator, "execute_task_observed", explode
+        )
         conn = _FakeConn()
         orchestrator._worker_main(object(), conn)
         (outcome,) = conn.sent
@@ -303,7 +348,9 @@ class TestWorkerMain:
         def interrupt(task, inline):
             raise KeyboardInterrupt
 
-        monkeypatch.setattr(orchestrator, "execute_task", interrupt)
+        monkeypatch.setattr(
+            orchestrator, "execute_task_observed", interrupt
+        )
         conn = _FakeConn()
         with pytest.raises(KeyboardInterrupt):
             orchestrator._worker_main(object(), conn)
@@ -319,7 +366,9 @@ class TestWorkerMain:
             def send(self, payload):
                 raise OSError("broken pipe")
 
-        monkeypatch.setattr(orchestrator, "execute_task", interrupt)
+        monkeypatch.setattr(
+            orchestrator, "execute_task_observed", interrupt
+        )
         conn = _DeadConn()
         # The cancellation still propagates even when reporting fails.
         with pytest.raises(KeyboardInterrupt):

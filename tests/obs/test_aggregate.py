@@ -1,0 +1,253 @@
+"""Cross-process telemetry: serialization, spill, sweep-wide merging."""
+
+import json
+
+import pytest
+
+from repro.obs import catalog
+from repro.obs.aggregate import (
+    MAX_INLINE_SPANS,
+    TaskTelemetry,
+    TelemetryError,
+    merge_chrome_trace,
+    merge_registry,
+    telemetry_from_payload,
+)
+from repro.obs.trace_schema import validate_chrome_trace
+from repro.obs.tracer import Span
+
+SCALE = 0.05
+
+
+def make_telemetry(
+    task_id="fir/grit",
+    workload="fir",
+    policy="grit",
+    spans=None,
+    values=None,
+    histograms=None,
+    **overrides,
+):
+    return TaskTelemetry(
+        task_id=task_id,
+        workload=workload,
+        policy=policy,
+        spans=spans
+        if spans is not None
+        else [
+            Span("fault", "gpu0", 10, 5, (("vpn", 3),)),
+            Span("migrate", "host", 20, 0),
+        ],
+        counter_samples=[(100, catalog.SIM_ACCESSES, 7.0)],
+        values=values
+        if values is not None
+        else {catalog.SIM_ACCESSES: 7.0},
+        histograms=histograms or {},
+        **overrides,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        telemetry = make_telemetry(
+            dropped_spans=2, dropped_events=3, wall_seconds=0.5
+        )
+        clone = TaskTelemetry.from_dict(telemetry.to_dict())
+        assert clone == telemetry
+
+    def test_round_trip_survives_json(self):
+        telemetry = make_telemetry()
+        encoded = json.dumps(telemetry.to_dict())
+        clone = TaskTelemetry.from_dict(json.loads(encoded))
+        assert clone.spans == telemetry.spans
+        assert clone.spans[0].args == (("vpn", 3),)
+
+    def test_schema_drift_is_rejected(self):
+        data = make_telemetry().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(TelemetryError, match="schema"):
+            TaskTelemetry.from_dict(data)
+
+
+class TestPayloads:
+    def test_small_payload_stays_inline(self, tmp_path):
+        telemetry = make_telemetry()
+        payload = telemetry.to_payload(spill_dir=str(tmp_path))
+        assert "inline" in payload
+        assert payload["payload_bytes"] > 0
+        clone = telemetry_from_payload(payload)
+        assert clone.spans == telemetry.spans
+        assert not clone.spilled
+        assert list(tmp_path.iterdir()) == []
+
+    def test_oversized_payload_spills_to_file(self, tmp_path):
+        spans = [
+            Span("fault", "gpu0", i, 1)
+            for i in range(MAX_INLINE_SPANS + 1)
+        ]
+        telemetry = make_telemetry(spans=spans)
+        payload = telemetry.to_payload(spill_dir=str(tmp_path))
+        assert "inline" not in payload
+        assert payload["path"].endswith("fir-grit.telemetry.json")
+        clone = telemetry_from_payload(payload)
+        assert len(clone.spans) == len(spans)
+        assert clone.spilled
+        assert clone.payload_bytes == payload["payload_bytes"]
+
+    def test_no_spill_dir_keeps_everything_inline(self):
+        spans = [
+            Span("fault", "gpu0", i, 1)
+            for i in range(MAX_INLINE_SPANS + 1)
+        ]
+        payload = make_telemetry(spans=spans).to_payload(spill_dir=None)
+        assert "inline" in payload
+
+    def test_malformed_payload_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            telemetry_from_payload({"neither": 1})
+        with pytest.raises(TelemetryError):
+            telemetry_from_payload(
+                {"path": str(tmp_path / "missing.json")}
+            )
+
+
+class TestMergeChromeTrace:
+    def build(self):
+        return [
+            make_telemetry(task_id="st/grit", workload="st"),
+            make_telemetry(task_id="fir/grit", dropped_spans=1),
+        ]
+
+    def test_merged_trace_validates(self):
+        document = merge_chrome_trace(self.build())
+        assert validate_chrome_trace(document) == []
+
+    def test_one_pid_per_task_in_task_id_order(self):
+        document = merge_chrome_trace(self.build())
+        names = {
+            event["args"]["name"]: event["pid"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+            and event["name"] == "process_name"
+        }
+        # Sorted by task id: fir/grit first, st/grit second.
+        assert names == {"fir/grit": 1, "st/grit": 2}
+
+    def test_span_events_keep_their_tracks(self):
+        document = merge_chrome_trace(self.build())
+        spans = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] in ("X", "i")
+        ]
+        assert {event["pid"] for event in spans} == {1, 2}
+        # Each task process names its own gpu0/host thread tracks.
+        track_names = {
+            (event["pid"], event["args"]["name"])
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+            and event["name"] == "thread_name"
+        }
+        assert track_names == {
+            (1, "gpu0"),
+            (1, "host"),
+            (2, "gpu0"),
+            (2, "host"),
+        }
+
+    def test_other_data_sums_drop_counts(self):
+        document = merge_chrome_trace(
+            self.build(), metadata={"scale": SCALE}
+        )
+        other = document["otherData"]
+        assert other["tasks"] == 2
+        assert other["dropped_spans"] == 1
+        assert other["scale"] == SCALE
+
+
+class TestMergeRegistry:
+    def test_counters_sum_across_tasks(self):
+        telemetries = [
+            make_telemetry(
+                task_id="fir/grit",
+                values={catalog.SIM_ACCESSES: 7.0},
+            ),
+            make_telemetry(
+                task_id="st/grit",
+                workload="st",
+                values={catalog.SIM_ACCESSES: 5.0},
+            ),
+        ]
+        registry = merge_registry(telemetries)
+        assert registry.value(catalog.SIM_ACCESSES) == 12.0
+        # One sample per task: the sweep trajectory.
+        assert registry.series(catalog.SIM_ACCESSES) == [
+            (1, 7.0),
+            (2, 12.0),
+        ]
+
+    def test_histograms_merge_bucket_by_bucket(self):
+        histogram = {
+            catalog.UVM_FAULT_SERVICE_CYCLES: {
+                "bounds": [64, 256, 1_024, 4_096, 16_384, 65_536,
+                           262_144, 1_048_576],
+                "bucket_counts": [1, 0, 2, 0, 0, 0, 0, 0, 0],
+                "count": 3,
+                "total": 900.0,
+            }
+        }
+        telemetries = [
+            make_telemetry(task_id="fir/grit", histograms=histogram),
+            make_telemetry(
+                task_id="st/grit", workload="st", histograms=histogram
+            ),
+        ]
+        merged = merge_registry(telemetries).histogram(
+            catalog.UVM_FAULT_SERVICE_CYCLES
+        )
+        assert merged.count == 6
+        assert merged.total == 1800.0
+        assert merged.bucket_counts[0] == 2
+        assert merged.bucket_counts[2] == 4
+
+    def test_mismatched_histogram_bounds_rejected(self):
+        telemetry = make_telemetry(
+            histograms={
+                catalog.UVM_FAULT_SERVICE_CYCLES: {
+                    "bounds": [1, 2],
+                    "bucket_counts": [0, 0, 0],
+                    "count": 0,
+                    "total": 0.0,
+                }
+            }
+        )
+        with pytest.raises(TelemetryError, match="bounds"):
+            merge_registry([telemetry])
+
+
+class TestObservedSweep:
+    """End to end: worker processes ship telemetry to the merge."""
+
+    def test_sweep_telemetry_merges_and_validates(self, tmp_path):
+        from repro.harness.experiment import ExperimentRunner
+        from repro.harness.orchestrator import run_sweep
+
+        runner = ExperimentRunner(scale=SCALE)
+        keys = [
+            runner.key("fir", "on_touch", num_gpus=2),
+            runner.key("fir", "grit", num_gpus=2),
+        ]
+        summary = run_sweep(keys, workers=2, observe=True)
+        assert set(summary.telemetry) == set(keys)
+        telemetries = list(summary.telemetry.values())
+        for telemetry in telemetries:
+            assert telemetry.spans
+            assert telemetry.wall_seconds > 0
+        document = merge_chrome_trace(telemetries)
+        assert validate_chrome_trace(document) == []
+        registry = merge_registry(telemetries)
+        expected = sum(
+            result.counters.accesses
+            for result in summary.results.values()
+        )
+        assert registry.value(catalog.SIM_ACCESSES) == expected

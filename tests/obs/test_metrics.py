@@ -164,6 +164,37 @@ class TestExporters:
             "uvm_fault_queue_depth"
         )
 
+    def test_prometheus_name_mangles_every_illegal_char(self):
+        assert prometheus_name("a-b.c/d e%f") == "a_b_c_d_e_f"
+        # Already-legal names pass through untouched.
+        assert prometheus_name("plain_name9") == "plain_name9"
+
+    def test_prometheus_empty_registry_is_empty_output(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_prometheus_le_labels_escape_bounds(self):
+        registry = MetricsRegistry()
+        registry.register(
+            MetricSpec("h.lat", MetricKind.HISTOGRAM, "latency"),
+            buckets=(64, 4096),
+        )
+        registry.observe("h.lat", 1)
+        registry.observe("h.lat", 100_000)
+        text = registry.to_prometheus()
+        # Finite bounds render without a trailing .0; the overflow
+        # bucket is spelled +Inf exactly as Prometheus expects.
+        assert 'h_lat_bucket{le="64"} 1' in text
+        assert 'h_lat_bucket{le="4096"} 1' in text
+        assert 'h_lat_bucket{le="+Inf"} 2' in text
+        assert text.endswith("\n")
+
+    def test_prometheus_gauge_type_line(self):
+        registry = registry_with("q.depth", MetricKind.GAUGE)
+        registry.set_gauge("q.depth", 2.5)
+        text = registry.to_prometheus()
+        assert "# TYPE q_depth gauge" in text
+        assert "q_depth 2.5" in text
+
 
 class TestCatalog:
     def test_build_registry_registers_every_spec(self):
@@ -179,3 +210,10 @@ class TestCatalog:
     def test_every_spec_has_a_description(self):
         for spec in catalog.METRICS:
             assert spec.description
+
+    def test_build_bench_registry_registers_bench_metrics(self):
+        registry = catalog.build_bench_registry()
+        assert set(registry.names()) == {
+            spec.name for spec in catalog.BENCH_METRICS
+        }
+        assert catalog.BENCH_RUNS in registry.names()

@@ -44,6 +44,31 @@ class TestPhaseProfiler:
         assert "total" in text
         assert "100.0%" in text
 
+    def test_to_registry_gauges_phases_and_total(self):
+        profiler = PhaseProfiler()
+        profiler.phases = [("replay", 3.0), ("replay", 1.0), ("x", 2.0)]
+        registry = profiler.to_registry()
+        # Duplicate phase names merge by summing their seconds.
+        assert registry.value("profile.phase.replay") == 4.0
+        assert registry.value("profile.phase.x") == 2.0
+        assert registry.value("profile.total") == 6.0
+
+    def test_to_jsonl_rows_parse(self):
+        import json
+
+        profiler = PhaseProfiler()
+        profiler.phases = [("replay", 3.0)]
+        rows = [
+            json.loads(line)
+            for line in profiler.to_jsonl().splitlines()
+        ]
+        metrics = {row["metric"]: row["value"] for row in rows}
+        assert metrics == {
+            "profile.phase.replay": 3.0,
+            "profile.total": 3.0,
+        }
+        assert all(row["ts"] == 0 for row in rows)
+
 
 class TestProfileRun:
     def test_profiles_a_tiny_workload(self):

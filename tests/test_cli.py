@@ -128,6 +128,142 @@ class TestSweep:
         assert "faults" in capsys.readouterr().out
 
 
+class TestSweepTelemetry:
+    def test_trace_and_metrics_merge_across_workers(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs.trace_schema import validate_trace_file
+
+        trace = tmp_path / "sweep.trace.json"
+        metrics = tmp_path / "sweep.metrics.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--workloads",
+                    "fir",
+                    "--policies",
+                    "grit",
+                    "--scale",
+                    "0.05",
+                    "--workers",
+                    "2",
+                    "--trace",
+                    str(trace),
+                    "--metrics",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        assert validate_trace_file(str(trace)) == []
+        document = json.loads(trace.read_text())
+        # One process row per task: fir under grit and the implied
+        # on_touch baseline.
+        assert document["otherData"]["tasks"] == 2
+        pids = {
+            event["pid"] for event in document["traceEvents"]
+        }
+        assert pids == {1, 2}
+        rows = [
+            json.loads(line)
+            for line in metrics.read_text().splitlines()
+        ]
+        assert any(
+            row["metric"] == "sim.accesses.total" and row["value"] > 0
+            for row in rows
+        )
+
+
+class TestProfileJson:
+    def test_json_export_parses(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "profile.jsonl"
+        assert (
+            main(
+                [
+                    "profile",
+                    "fir",
+                    "on_touch",
+                    "--gpus",
+                    "2",
+                    "--scale",
+                    "0.05",
+                    "--json",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        metrics = {
+            row["metric"]
+            for row in map(
+                json.loads, output.read_text().splitlines()
+            )
+        }
+        assert "profile.total" in metrics
+        assert "profile.phase.replay" in metrics
+
+
+class TestBench:
+    def test_write_then_compare_passes_and_slowdown_fails(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        baselines = tmp_path / "baselines"
+        common = [
+            "bench",
+            "--cases",
+            "fir-grit",
+            "--scale",
+            "0.05",
+            "--repeats",
+            "1",
+        ]
+        assert main([*common, "--output", str(baselines)]) == 0
+        baseline_path = baselines / "BENCH_fir-grit.json"
+        assert baseline_path.is_file()
+        document = json.loads(baseline_path.read_text())
+        assert document["counters"]["total_cycles"] > 0
+        # A bit-identical rerun passes the gate (counters match
+        # exactly; wall time is compared in counters-only mode to
+        # stay deterministic under test-runner noise).
+        assert (
+            main(
+                [
+                    *common,
+                    "--compare",
+                    str(baselines),
+                    "--counters-only",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # An injected slowdown must trip the wall-time gate.
+        assert (
+            main(
+                [
+                    *common,
+                    "--compare",
+                    str(baselines),
+                    "--inject-slowdown",
+                    "30",
+                ]
+            )
+            == 1
+        )
+        assert "regression [wall]" in capsys.readouterr().err
+
+    def test_unknown_case_is_an_error(self, capsys):
+        assert main(["bench", "--cases", "nope"]) == 2
+        assert "unknown bench case" in capsys.readouterr().err
+
+
 class TestLint:
     def test_clean_repo_exits_zero(self, capsys):
         assert main(["lint"]) == 0
