@@ -57,6 +57,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=float, default=0.3)
     run.add_argument("--page-size", type=int, default=4096)
     run.add_argument(
+        "--contention",
+        choices=["none", "queued"],
+        default="none",
+        help="timing-kernel mode: 'queued' models link and DRAM "
+        "channel occupancy (GRIT_CONTENTION overrides)",
+    )
+    run.add_argument(
         "--fault-batch",
         type=int,
         default=1,
@@ -487,6 +494,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_gpus=args.gpus,
         page_size=args.page_size,
         fault_batch_size=args.fault_batch,
+        contention=args.contention,
     )
     if args.trace or args.metrics:
         result, observation = _observed_simulate(

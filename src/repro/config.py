@@ -261,6 +261,14 @@ class SystemConfig:
     #: repro.obs).  Off by default with zero fast-path cost.  The
     #: ``GRIT_TRACE=1`` environment variable enables it globally.
     observe: bool = False
+    #: Interconnect/DRAM contention mode of the timing kernel (see
+    #: repro.sim.timing).  ``"none"`` charges the flat latency-model
+    #: costs (bit-for-bit the classic simulator); ``"queued"`` makes
+    #: every link and DRAM channel a contended resource with
+    #: ``busy_until`` occupancy and queueing delay.  The
+    #: ``GRIT_CONTENTION=queued`` environment variable overrides it
+    #: globally.
+    contention: str = "none"
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:
@@ -279,6 +287,11 @@ class SystemConfig:
             raise ConfigError("issue_gap must be non-negative")
         if self.fault_batch_size < 1:
             raise ConfigError("fault_batch_size must be >= 1")
+        if self.contention not in ("none", "queued"):
+            raise ConfigError(
+                f"contention must be 'none' or 'queued', "
+                f"got {self.contention!r}"
+            )
 
     @property
     def pages_per_counter_group(self) -> int:

@@ -862,7 +862,7 @@ def warmup_keys(runner: ExperimentRunner) -> List[RunKey]:
     share.  Figure-specific sweeps (GPU scaling, thresholds, ...) are
     cheap by comparison and simulate lazily.
     """
-    from repro.harness.parallel import headline_keys
+    from repro.harness.orchestrator import headline_keys
 
     keys = headline_keys(runner)
     ablation_variants = (

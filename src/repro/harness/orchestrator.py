@@ -41,7 +41,7 @@ import os
 import time
 import traceback
 from collections import deque
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from repro.config import SystemConfig
 from repro.errors import ReproError
@@ -826,3 +826,86 @@ def run_sweep(
             telemetry_dir=telemetry_dir,
         )
     )
+
+
+# ----------------------------------------------------------------------
+# key-level front-end (the programmatic sweep API)
+# ----------------------------------------------------------------------
+
+
+def run_keys_parallel(
+    keys: Sequence[RunKey],
+    workers: int | None = None,
+    base_config: SystemConfig | None = None,
+    artifacts_dir: str | None = None,
+    cache_dir: str | None = None,
+) -> Dict[RunKey, SimulationResult]:
+    """Simulate every key, fanning out across worker processes.
+
+    ``workers`` defaults to the CPU count (capped by the number of
+    keys).  With ``workers=1`` the sweep runs inline, which is also
+    the fallback on platforms without process support.  Raises
+    :class:`SweepError` if any key still fails after the
+    orchestrator's retries.
+    """
+    summary = run_sweep(
+        keys,
+        base_config=base_config,
+        workers=workers,
+        cache_dir=cache_dir,
+        artifacts_dir=artifacts_dir,
+    )
+    failed = summary.failed_keys()
+    if failed:
+        labels = ", ".join(
+            f"{key.workload}/{key.policy}" for key in failed
+        )
+        raise SweepError(f"sweep failed for: {labels}")
+    return dict(summary.results)
+
+
+def warm_runner_parallel(
+    runner: "ExperimentRunner",
+    keys: Iterable[RunKey],
+    workers: int | None = None,
+) -> "ExperimentRunner":
+    """Pre-populate a runner's cache using worker processes.
+
+    The runner's own ``base_config``, ``artifacts_dir``, and (for a
+    :class:`~repro.harness.cache.DiskCachedRunner`) disk cache
+    directory are forwarded to the workers, so the warmed cache holds
+    exactly what sequential ``runner.run`` calls would have produced.
+    After warming, every figure function that only touches ``keys``
+    serves from cache — the pattern for fast whole-report regeneration:
+
+        runner = ExperimentRunner(scale=0.25)
+        warm_runner_parallel(runner, all_keys)
+        write_report("REPORT.md", runner=runner)
+    """
+    results = run_keys_parallel(
+        list(keys),
+        workers=workers,
+        base_config=runner.base_config,
+        artifacts_dir=runner.artifacts_dir,
+        cache_dir=getattr(runner, "cache_dir", None),
+    )
+    runner._cache.update(results)
+    return runner
+
+
+def headline_keys(runner: "ExperimentRunner") -> List[RunKey]:
+    """The run set behind Figures 1/17/18/19 — the usual warm-up."""
+    from repro.harness.experiment import PAPER_APPS
+
+    policies = (
+        "on_touch",
+        "access_counter",
+        "duplication",
+        "grit",
+        "ideal",
+    )
+    return [
+        runner.key(app, policy)
+        for app in PAPER_APPS
+        for policy in policies
+    ]

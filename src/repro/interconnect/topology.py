@@ -37,6 +37,16 @@ class Topology:
             )
             for g in range(num_gpus)
         ]
+        #: Shared host root port: every host-bound payload crosses it in
+        #: addition to its per-GPU PCIe link.  Per-GPU links serialize
+        #: one GPU's own traffic; the uplink is where *different* GPUs'
+        #: host transfers collide (contended "queued" mode only — the
+        #: flat mode never reserves it).
+        self.host_uplink = Link(
+            name="pcie-host",
+            latency=latency.pcie_latency,
+            bytes_per_cycle=latency.pcie_bytes_per_cycle,
+        )
 
     def _nvlink(self, src: int, dst: int) -> Link:
         key = (src, dst) if src < dst else (dst, src)
@@ -65,6 +75,10 @@ class Topology:
         """Cycles for a payload-free message (fault, invalidation, ack)."""
         return self.link_between(src, dst).message_cycles()
 
+    def links(self) -> list[Link]:
+        """Every link of the fabric (NVLinks, per-GPU PCIe, uplink)."""
+        return [*self._nvlinks.values(), *self._pcie, self.host_uplink]
+
     def total_nvlink_bytes(self) -> int:
         """Total GPU-to-GPU traffic moved so far."""
         return sum(link.bytes_transferred for link in self._nvlinks.values())
@@ -72,3 +86,17 @@ class Topology:
     def total_pcie_bytes(self) -> int:
         """Total host-GPU traffic moved so far."""
         return sum(link.bytes_transferred for link in self._pcie)
+
+    def total_messages(self) -> int:
+        """Total messages (control + transfers) across every link."""
+        return sum(link.messages for link in self.links())
+
+    def total_wait_cycles(self) -> int:
+        """Cumulative link queueing delay (contended mode only)."""
+        return sum(link.wait_cycles for link in self.links())
+
+    def peak_occupancy(self) -> int:
+        """Largest backlog any link reservation observed on arrival."""
+        return max(
+            (link.peak_occupancy for link in self.links()), default=0
+        )

@@ -257,6 +257,80 @@ def _registered_mechanic(node: ast.AST) -> str | None:
     return None
 
 
+#: LatencyModel fields that price simulated work.  Reading one of
+#: these is a cycle charge; charges route through the timing kernel.
+_CHARGING_FIELDS = frozenset({
+    "nvlink_latency",
+    "nvlink_bytes_per_cycle",
+    "pcie_latency",
+    "pcie_bytes_per_cycle",
+    "local_dram_access",
+    "remote_dram_access",
+    "host_remote_access",
+    "host_fault_service",
+    "pipeline_flush",
+    "invalidation_per_gpu",
+    "gps_store_broadcast",
+    "pa_table_memory_access",
+    "pa_cache_lookup",
+})
+
+#: Modules allowed to read raw charging constants: the kernel itself
+#: and the resource models it drives.
+_KERNEL_MODULES = frozenset({
+    "sim/timing.py",
+    "interconnect/link.py",
+    "interconnect/topology.py",
+    "memsys/dram.py",
+    "config.py",
+    "core/initiator.py",
+})
+
+
+@rule
+class TimingKernelRoutingRule(FileRule):
+    """Cycle charges route through the timing kernel, nowhere else."""
+
+    rule_id = "GRIT-C007"
+    description = (
+        "no module outside the timing kernel and its resource models "
+        "may read a raw charging constant off a LatencyModel (e.g. "
+        "latency.pipeline_flush); new costs go through "
+        "repro.sim.timing.TimingKernel so contended mode prices them"
+    )
+    hint = (
+        "call the matching TimingKernel method (machine.kernel.<op>) "
+        "instead of reading the LatencyModel field"
+    )
+
+    def visit_Attribute(
+        self, node: ast.Attribute, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        if node.attr not in _CHARGING_FIELDS:
+            return
+        if module.relpath in _KERNEL_MODULES:
+            return
+        base = node.value
+        # Only LatencyModel reads: the base expression must itself be
+        # a ``latency`` name or attribute (``latency.pipeline_flush``,
+        # ``config.latency.pipeline_flush``, ...).  Same-named kernel
+        # *methods* (``kernel.pipeline_flush(...)``) stay legal.
+        if isinstance(base, ast.Name):
+            if base.id != "latency":
+                return
+        elif isinstance(base, ast.Attribute):
+            if base.attr != "latency":
+                return
+        else:
+            return
+        yield self.finding(
+            module,
+            node,
+            f"raw charging constant latency.{node.attr} read outside "
+            f"the timing kernel",
+        )
+
+
 @rule
 class CliDocumentedRule(ProjectRule):
     """Every CLI subcommand appears in README.md or docs/."""

@@ -108,3 +108,54 @@ class DramDirectory:
     def resident_vpns(self) -> list[int]:
         """VPNs currently occupying frames."""
         return list(self._resident)
+
+
+class DramChannel:
+    """One node's DRAM channel as a contended timing resource.
+
+    The directory above answers *where* pages live; the channel answers
+    *when* the memory can serve another request.  Each reservation
+    queues behind the channel's ``busy_until`` horizon and then holds
+    it for one service period, so concurrent remote readers of the same
+    node's memory observe queueing delay instead of the flat
+    latency-model cost.  Used only by the timing kernel
+    (:mod:`repro.sim.timing`) in ``contention="queued"`` mode; in the
+    default flat mode the channel is never consulted.
+    """
+
+    def __init__(self, name: str, service_cycles: int) -> None:
+        if service_cycles < 1:
+            raise ValueError("DRAM service time must be >= 1 cycle")
+        self.name = name
+        #: Effective cycles one access occupies the channel (the local
+        #: DRAM latency after the MLP divisor — the already-overlapped
+        #: per-request service the flat model charges).
+        self.service_cycles = service_cycles
+        self.busy_until = 0
+        #: Accesses that reserved the channel.
+        self.accesses = 0
+        #: Cumulative cycles accesses spent queued behind earlier ones.
+        self.wait_cycles = 0
+        #: Largest backlog (``busy_until - now``) any access observed
+        #: on arrival.
+        self.peak_occupancy = 0
+
+    def reserve(self, now: int) -> int:
+        """Reserve one access arriving at ``now``; returns its wait."""
+        self.accesses += 1
+        wait = self.busy_until - now
+        if wait <= 0:
+            wait = 0
+        else:
+            self.wait_cycles += wait
+            if wait > self.peak_occupancy:
+                self.peak_occupancy = wait
+        self.busy_until = now + wait + self.service_cycles
+        return wait
+
+    def reset_stats(self) -> None:
+        """Zero the occupancy state and contention counters."""
+        self.busy_until = 0
+        self.accesses = 0
+        self.wait_cycles = 0
+        self.peak_occupancy = 0

@@ -85,6 +85,8 @@ class BenchCase:
     workload: str
     policy: str
     num_gpus: int = 2
+    #: Timing-kernel mode the case runs under (see repro.sim.timing).
+    contention: str = "none"
 
 
 #: The default suite: the paper's baseline policy plus GRIT on three
@@ -95,6 +97,10 @@ DEFAULT_CASES: Tuple[BenchCase, ...] = (
     BenchCase("fir-grit", "fir", "grit"),
     BenchCase("st-grit", "st", "grit"),
     BenchCase("bfs-grit", "bfs", "grit"),
+    BenchCase(
+        "fir-grit-contended", "fir", "grit",
+        num_gpus=4, contention="queued",
+    ),
 )
 
 
@@ -147,6 +153,7 @@ class BenchResult:
             "workload": self.case.workload,
             "policy": self.case.policy,
             "num_gpus": self.case.num_gpus,
+            "contention": self.case.contention,
             "scale": self.scale,
             "repeats": self.repeats,
             "timings": {
@@ -196,6 +203,7 @@ def run_case(
             case.policy,
             num_gpus=case.num_gpus,
             scale=scale,
+            contention=case.contention,
         )
         if registry is not None:
             registry.inc(catalog.BENCH_RUNS)
@@ -315,8 +323,13 @@ def compare_case(
     """
     name = current.case.name
     findings: List[Regression] = []
-    for field in ("workload", "policy", "num_gpus", "scale"):
-        recorded = baseline.get(field)
+    for field in ("workload", "policy", "num_gpus", "contention",
+                  "scale"):
+        # Pre-contention baselines did not record the field; they were
+        # all measured in the default flat mode.
+        recorded = baseline.get(
+            field, "none" if field == "contention" else None
+        )
         measured = getattr(
             current.case, field, None
         ) if field != "scale" else current.scale

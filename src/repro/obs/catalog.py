@@ -28,6 +28,11 @@ UVM_PREFETCHES = "uvm.prefetches.total"
 UVM_FAULT_BATCHES = "uvm.fault.batches.total"
 UVM_COALESCED_FAULTS = "uvm.fault.coalesced.total"
 GRIT_SCHEME_CHANGES = "grit.scheme_changes.total"
+LINK_WAIT_CYCLES = "interconnect.link.wait_cycles.total"
+LINK_BYTES = "interconnect.link.bytes.total"
+LINK_MESSAGES = "interconnect.link.messages.total"
+DRAM_WAIT_CYCLES = "memsys.dram.wait_cycles.total"
+DRAM_ACCESSES = "memsys.dram.accesses.total"
 
 # -- gauges (point-in-time state sampled per interval) -----------------
 
@@ -38,6 +43,8 @@ TLB_L2_MISS_RATE = "memsys.tlb.l2_miss_rate"
 GRIT_PAGES_ON_TOUCH = "grit.pages.on_touch"
 GRIT_PAGES_ACCESS_COUNTER = "grit.pages.access_counter"
 GRIT_PAGES_DUPLICATION = "grit.pages.duplication"
+LINK_PEAK_OCCUPANCY = "interconnect.link.peak_occupancy"
+DRAM_PEAK_OCCUPANCY = "memsys.dram.peak_occupancy"
 
 # -- histograms (per-operation cost distributions) ---------------------
 
@@ -121,6 +128,21 @@ METRICS: Tuple[MetricSpec, ...] = (
            "currently say access-counter migration", "pages"),
     _gauge(GRIT_PAGES_DUPLICATION, "pages whose PTE scheme bits "
            "currently say duplication", "pages"),
+    _counter(LINK_WAIT_CYCLES, "cycles charges spent queued behind "
+             "earlier link reservations (contention=queued only)",
+             "cycles"),
+    _counter(LINK_BYTES, "payload bytes moved across every link "
+             "(NVLink + PCIe page traffic)", "bytes"),
+    _counter(LINK_MESSAGES, "transfers plus control messages carried "
+             "by every link", "messages"),
+    _counter(DRAM_WAIT_CYCLES, "cycles data accesses spent queued on "
+             "a busy DRAM channel (contention=queued only)", "cycles"),
+    _counter(DRAM_ACCESSES, "data accesses that reserved a DRAM "
+             "channel (contention=queued only)", "accesses"),
+    _gauge(LINK_PEAK_OCCUPANCY, "largest backlog any link reservation "
+           "observed on arrival", "cycles"),
+    _gauge(DRAM_PEAK_OCCUPANCY, "largest backlog any DRAM access "
+           "observed on arrival", "cycles"),
     _histogram(UVM_FAULT_SERVICE_CYCLES, "stall cycles charged per "
                "serviced local page fault"),
     _histogram(UVM_MIGRATION_CYCLES, "cycles charged per page "

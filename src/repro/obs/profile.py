@@ -113,6 +113,7 @@ def profile_run(
     num_gpus: int = 4,
     scale: float = 0.3,
     page_size: int = 4096,
+    contention: str = "none",
 ) -> ProfiledRun:
     """Run one (workload, policy) pair with wall-time phase timing.
 
@@ -129,7 +130,9 @@ def profile_run(
     from repro.workloads import make_workload
 
     profiler = PhaseProfiler()
-    config = SystemConfig(num_gpus=num_gpus, page_size=page_size)
+    config = SystemConfig(
+        num_gpus=num_gpus, page_size=page_size, contention=contention
+    )
     with profiler.phase("generate-trace"):
         trace = make_workload(workload, num_gpus=num_gpus, scale=scale)
     with profiler.phase("build-engine"):

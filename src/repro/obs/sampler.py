@@ -79,6 +79,7 @@ class MetricsSampler:
         self._sample_tlb_rates()
         self._sample_scheme_population()
         self._sample_pa_cache()
+        self._sample_contention()
         registry.sample(now)
 
     def _sample_tlb_rates(self) -> None:
@@ -112,6 +113,36 @@ class MetricsSampler:
         )
         self.registry.set_gauge(
             catalog.GRIT_PAGES_DUPLICATION, populations[Scheme.DUPLICATION]
+        )
+
+    def _sample_contention(self) -> None:
+        """Link and DRAM-channel pressure from the timing kernel.
+
+        Traffic totals are live in every mode; the wait/occupancy
+        series stay 0 unless the run uses ``contention="queued"``.
+        """
+        registry = self.registry
+        topology = self.machine.topology
+        kernel = self.machine.kernel
+        registry.set_total(
+            catalog.LINK_WAIT_CYCLES, topology.total_wait_cycles()
+        )
+        registry.set_total(
+            catalog.LINK_BYTES,
+            sum(link.bytes_transferred for link in topology.links()),
+        )
+        registry.set_total(
+            catalog.LINK_MESSAGES, topology.total_messages()
+        )
+        registry.set_total(
+            catalog.DRAM_WAIT_CYCLES, kernel.dram_wait_cycles()
+        )
+        registry.set_total(catalog.DRAM_ACCESSES, kernel.dram_accesses())
+        registry.set_gauge(
+            catalog.LINK_PEAK_OCCUPANCY, topology.peak_occupancy()
+        )
+        registry.set_gauge(
+            catalog.DRAM_PEAK_OCCUPANCY, kernel.dram_peak_occupancy()
         )
 
     def _sample_pa_cache(self) -> None:

@@ -87,7 +87,7 @@ class GriffinPolicy(PlacementPolicy):
             if page.owner == dominant:
                 continue
             cycles = self._migration.migrate(
-                page, dominant, flush_scale=self.flush_scale
+                page, dominant, flush_scale=self.flush_scale, now=now
             )
             # Delayed migrations run alongside execution; the receiving
             # GPU absorbs the transfer/invalidation time.

@@ -46,10 +46,14 @@ class TreePrefetcher:
         """Attach to the UVM driver; called by the engine at setup."""
         self._driver = driver
 
-    def on_install(self, gpu: int, vpn: int) -> None:
-        """Notify that ``vpn`` became resident on ``gpu`` via a fault."""
+    def on_install(self, gpu: int, vpn: int, now: int = 0) -> None:
+        """Notify that ``vpn`` became resident on ``gpu`` via a fault.
+
+        ``now`` is the installing GPU's clock; prefetch transfers it
+        triggers reserve link occupancy from that instant.
+        """
         self._account(gpu, vpn)
-        self._maybe_fire(gpu, vpn)
+        self._maybe_fire(gpu, vpn, now)
 
     def _account(self, gpu: int, vpn: int) -> None:
         region, node = self._locate(vpn)
@@ -72,7 +76,7 @@ class TreePrefetcher:
             self._trees[key] = tree
         return tree
 
-    def _maybe_fire(self, gpu: int, vpn: int) -> None:
+    def _maybe_fire(self, gpu: int, vpn: int, now: int) -> None:
         assert self._driver is not None, "prefetcher used before bind()"
         region, node = self._locate(vpn)
         tree = self._tree_for(gpu, region)
@@ -88,7 +92,7 @@ class TreePrefetcher:
         if best is None:
             return
         fired.add(best)
-        self._prefetch_span(gpu, region, best, tree)
+        self._prefetch_span(gpu, region, best, tree, now)
 
     @staticmethod
     def _node_capacity(node: int) -> int:
@@ -101,7 +105,7 @@ class TreePrefetcher:
         return (NUM_LEAVES >> depth) * LEAF_PAGES
 
     def _prefetch_span(
-        self, gpu: int, region: int, node: int, tree: List[int]
+        self, gpu: int, region: int, node: int, tree: List[int], now: int
     ) -> None:
         """Pull every still-host-resident page under ``node`` to ``gpu``."""
         assert self._driver is not None
@@ -110,7 +114,7 @@ class TreePrefetcher:
         first_leaf = (node - (1 << depth)) * span_leaves
         base_vpn = region * REGION_PAGES + first_leaf * LEAF_PAGES
         for vpn in range(base_vpn, base_vpn + span_leaves * LEAF_PAGES):
-            if self._driver.prefetch_page(gpu, vpn):
+            if self._driver.prefetch_page(gpu, vpn, now):
                 self.prefetched_pages += 1
                 leaf_node = FIRST_LEAF + (vpn % REGION_PAGES) // LEAF_PAGES
                 climb = leaf_node

@@ -25,7 +25,7 @@ from repro.memsys.address import AddressSpace
 from repro.obs.run import RunObservation, observe_enabled
 from repro.obs.tracer import ENGINE_TRACK
 from repro.policies.base import PlacementPolicy
-from repro.sim.pipeline import AccessCosts, TranslationStage
+from repro.sim.pipeline import TranslationStage
 from repro.sim.result import SimulationResult
 from repro.stats.timeline import IntervalTimeline
 from repro.uvm.driver import UvmDriver
@@ -86,7 +86,7 @@ class Engine:
         self.stage = TranslationStage(
             self.machine, trace, self.address_space
         )
-        self.costs = AccessCosts.from_latency(config.latency)
+        self.costs = self.machine.kernel.costs
         if prefetcher is not None:
             prefetcher.bind(self.driver)
 
@@ -138,12 +138,14 @@ class Engine:
             )
             node.clock = now + cycles + issue_gap
             if parked and service.should_drain(gpu_id):
-                node.clock += self._drain_faults(gpu_id, node)
+                node.clock += self._drain_faults(gpu_id, node, node.clock)
             if cursors[gpu_id].exhausted:
                 # End of stream: nothing left to overlap parked faults
                 # with, so flush this GPU's partial batch.
                 if not inline and service.pending(gpu_id):
-                    node.clock += self._drain_faults(gpu_id, node)
+                    node.clock += self._drain_faults(
+                        gpu_id, node, node.clock
+                    )
                 active.remove(gpu_id)
 
         return self._build_result()
@@ -179,22 +181,29 @@ class Engine:
                         f"fault on vpn {vpn} left GPU {gpu_id} unmapped"
                     )
                 if self.prefetcher is not None:
-                    self.prefetcher.on_install(gpu_id, vpn)
+                    self.prefetcher.on_install(gpu_id, vpn, now + cycles)
             node.fill_translation(vpn, pte)
-        cycles += self._finish_access(gpu_id, node, vpn, is_write, pte)
+        cycles += self._finish_access(
+            gpu_id, node, vpn, is_write, pte, now + cycles
+        )
         return cycles, False
 
-    def _drain_faults(self, gpu_id: int, node: "GpuNode") -> int:
+    def _drain_faults(self, gpu_id: int, node: "GpuNode", now: int) -> int:
         """Stage 3 + replay: drain one GPU's buffer, finish accesses."""
-        cycles, records = self.fault_service.drain(gpu_id)
+        cycles, records = self.fault_service.drain(gpu_id, now)
         for event in records:
             cycles += self._replay_access(
-                gpu_id, node, event.vpn, event.is_write
+                gpu_id, node, event.vpn, event.is_write, now + cycles
             )
         return cycles
 
     def _replay_access(
-        self, gpu_id: int, node: "GpuNode", vpn: int, is_write: bool
+        self,
+        gpu_id: int,
+        node: "GpuNode",
+        vpn: int,
+        is_write: bool,
+        now: int,
     ) -> int:
         """Finish one parked access after its batch was serviced."""
         cycles = 0
@@ -202,17 +211,19 @@ class Engine:
         if pte is None:
             # A later fault in the same batch evicted this page while
             # being serviced; re-fault it inline.
-            cycles += self.driver.handle_local_fault(gpu_id, vpn, is_write)
+            cycles += self.driver.handle_local_fault(
+                gpu_id, vpn, is_write, now=now
+            )
             pte = node.page_table.lookup(vpn)
             if pte is None:
                 raise SimulationError(
                     f"fault on vpn {vpn} left GPU {gpu_id} unmapped"
                 )
         if self.prefetcher is not None:
-            self.prefetcher.on_install(gpu_id, vpn)
+            self.prefetcher.on_install(gpu_id, vpn, now + cycles)
         node.fill_translation(vpn, pte)
         return cycles + self._finish_access(
-            gpu_id, node, vpn, is_write, pte
+            gpu_id, node, vpn, is_write, pte, now + cycles
         )
 
     def _finish_access(
@@ -222,12 +233,19 @@ class Engine:
         vpn: int,
         is_write: bool,
         pte: "LocalPTE",
+        now: int,
     ) -> int:
-        """Stage 4: protection check plus the data access itself."""
+        """Stage 4: protection check plus the data access itself.
+
+        ``now`` is the simulated cycle the access reaches the data
+        path; the timing kernel prices the access against the routed
+        link and DRAM channel occupancy at that instant (a no-op in
+        the default flat mode).
+        """
         driver = self.driver
         cycles = 0
         if is_write and not pte.writable:
-            cycles += driver.handle_protection_fault(gpu_id, vpn)
+            cycles += driver.handle_protection_fault(gpu_id, vpn, now=now)
             pte = node.page_table.lookup(vpn)
             if pte is None or not pte.writable:
                 raise SimulationError(
@@ -236,30 +254,35 @@ class Engine:
             node.fill_translation(vpn, pte)
         # Data access: local DRAM, a peer GPU over NVLink, or host
         # memory over PCIe (counter-tracked pages before migration).
-        costs = self.costs
+        kernel = self.machine.kernel
         breakdown = self.machine.breakdown
         location = pte.location
         if location == gpu_id:
-            cycles += costs.local_access
+            cycles += kernel.local_access(gpu_id, now + cycles)
             if is_write:
                 node.dram.mark_dirty(vpn)
             else:
                 node.dram.touch(vpn)
         elif location == HOST_NODE:
-            cycles += costs.host_access[is_write]
-            breakdown.charge(
-                LatencyCategory.REMOTE_ACCESS, costs.host_penalty[is_write]
+            access, penalty = kernel.host_access(
+                gpu_id, is_write, now + cycles
             )
-            cycles += driver.on_remote_access(gpu_id, vpn)
+            cycles += access
+            breakdown.charge(LatencyCategory.REMOTE_ACCESS, penalty)
+            cycles += driver.on_remote_access(
+                gpu_id, vpn, now=now + cycles
+            )
         else:
-            cycles += costs.remote_access[is_write]
-            breakdown.charge(
-                LatencyCategory.REMOTE_ACCESS,
-                costs.remote_penalty[is_write],
+            access, penalty = kernel.remote_access(
+                gpu_id, location, is_write, now + cycles
             )
+            cycles += access
+            breakdown.charge(LatencyCategory.REMOTE_ACCESS, penalty)
             if is_write:
                 self.machine.gpus[location].dram.mark_dirty(vpn)
-            cycles += driver.on_remote_access(gpu_id, vpn)
+            cycles += driver.on_remote_access(
+                gpu_id, vpn, now=now + cycles
+            )
         if self.policy.gps_semantics and is_write:
             cycles += driver.gps_write(gpu_id, vpn)
         return cycles
@@ -272,6 +295,9 @@ class Engine:
         details: dict[str, object] = {
             "nvlink_bytes": machine.topology.total_nvlink_bytes(),
             "pcie_bytes": machine.topology.total_pcie_bytes(),
+            "contention": machine.kernel.mode,
+            "link_wait_cycles": machine.topology.total_wait_cycles(),
+            "dram_wait_cycles": machine.kernel.dram_wait_cycles(),
             "policy_description": self.policy.describe(),
             "l1_tlb_hit_rate": (
                 l1_hits / (l1_hits + l1_misses) if l1_hits + l1_misses else 0.0

@@ -14,8 +14,10 @@ The access path is an explicit four-stage pipeline:
    the driver drains one GPU's buffer as a batch, coalescing
    duplicates and amortizing the host round trip.
 4. **Data access**: the engine charges the data-access latency by
-   where the page actually lives, using the precomputed
-   :class:`AccessCosts`.
+   where the page actually lives, priced by the timing kernel
+   (:mod:`repro.sim.timing`) — flat :class:`AccessCosts` charges in
+   the default mode, plus routed link and DRAM channel queueing in
+   ``contention="queued"`` mode.
 
 Stream cursors iterate the trace arrays in bounded chunks instead of
 materializing whole per-GPU streams up front, which keeps the
@@ -30,14 +32,22 @@ from typing import TYPE_CHECKING, List, Tuple
 import numpy as np
 
 from repro.constants import LatencyCategory
+from repro.sim.timing import AccessCosts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.config import LatencyModel
     from repro.memsys.address import AddressSpace
     from repro.memsys.page_table import LocalPTE
     from repro.sim.gpu import GpuNode
     from repro.uvm.machine import MachineState
     from repro.workloads.base import WorkloadTrace
+
+__all__ = [
+    "AccessCosts",
+    "AccessOutcome",
+    "StreamCursor",
+    "TranslationStage",
+    "CURSOR_CHUNK",
+]
 
 #: Stream-cursor window: how many trace entries are materialized as
 #: plain Python scalars at a time.  Scalar indexing into numpy arrays
@@ -61,47 +71,6 @@ class AccessOutcome:
     cycles: int
     pte: "LocalPTE | None"
     l2_missed: bool
-
-
-@dataclasses.dataclass(frozen=True)
-class AccessCosts:
-    """Precomputed per-access latency charges (one per simulation).
-
-    Far-access cost pairs are ``(read, write)`` — indexed by the
-    access's ``is_write`` flag — because far writes are posted
-    (fire-and-forget stores) and stall for roughly half a read's
-    round trip.
-    """
-
-    local_access: int
-    remote_access: Tuple[int, int]
-    remote_penalty: Tuple[int, int]
-    host_access: Tuple[int, int]
-    host_penalty: Tuple[int, int]
-
-    @classmethod
-    def from_latency(cls, latency: "LatencyModel") -> "AccessCosts":
-        """Derive the charge table from a config's latency model."""
-        local = latency.scaled_data_access(latency.local_dram_access)
-        remote = (
-            latency.scaled_remote_access(),
-            max(1, latency.scaled_remote_access() // 2),
-        )
-        host = (
-            latency.scaled_host_remote_access(),
-            max(1, latency.scaled_host_remote_access() // 2),
-        )
-        return cls(
-            local_access=local,
-            remote_access=remote,
-            remote_penalty=tuple(
-                max(0, cost - local) for cost in remote
-            ),
-            host_access=host,
-            host_penalty=tuple(
-                max(0, cost - local) for cost in host
-            ),
-        )
 
 
 class StreamCursor:

@@ -155,21 +155,26 @@ class UvmDriver:
     # fault entry points
     # ------------------------------------------------------------------
 
-    def handle_local_fault(self, gpu: int, vpn: int, is_write: bool) -> int:
+    def handle_local_fault(
+        self, gpu: int, vpn: int, is_write: bool, now: int = 0
+    ) -> int:
         """Resolve a local page fault; returns cycles the access stalls."""
         m = self.machine
         page = m.central_pt.get(vpn)
         if self.policy.mechanic_for(page) is Mechanic.IDEAL:
-            return self.mechanics.execute(Mechanic.IDEAL, gpu, page, is_write)
+            return self.mechanics.execute(
+                Mechanic.IDEAL, gpu, page, is_write, now
+            )
         m.counters.record_fault(FaultKind.LOCAL_PAGE_FAULT, gpu)
-        cycles = self.host_service(gpu)
+        cycles = self.host_service(gpu, now)
         cycles += self._observe_fault(
             gpu, vpn, FaultKind.LOCAL_PAGE_FAULT, is_write
         )
         # The policy hook may have rewritten the page's scheme bits
         # (GRIT's PA path), so the mechanic is re-read after it runs.
         cycles += self.mechanics.execute(
-            self.policy.mechanic_for(page), gpu, page, is_write
+            self.policy.mechanic_for(page), gpu, page, is_write,
+            now + cycles,
         )
         if m.event_log is not None:
             m.event_log.emit(
@@ -179,7 +184,7 @@ class UvmDriver:
         return cycles
 
     def service_fault_batch(
-        self, gpu: int, batch: Sequence[FaultEvent]
+        self, gpu: int, batch: Sequence[FaultEvent], now: int = 0
     ) -> int:
         """Drain one GPU's fault buffer as a single driver batch.
 
@@ -199,12 +204,13 @@ class UvmDriver:
                 coalesced[record.vpn] = prior.merged_with(record)
                 m.counters.coalesced_faults += 1
         m.counters.fault_batches += 1
-        cycles = self.host_service(gpu)
+        cycles = self.host_service(gpu, now)
         for record in coalesced.values():
             page = m.central_pt.get(record.vpn)
             if self.policy.mechanic_for(page) is Mechanic.IDEAL:
                 cycles += self.mechanics.execute(
-                    Mechanic.IDEAL, gpu, page, record.is_write
+                    Mechanic.IDEAL, gpu, page, record.is_write,
+                    now + cycles,
                 )
                 continue
             m.counters.record_fault(FaultKind.LOCAL_PAGE_FAULT, gpu)
@@ -213,7 +219,8 @@ class UvmDriver:
             )
             # Re-read after the policy hook: it may rewrite scheme bits.
             fault_cycles += self.mechanics.execute(
-                self.policy.mechanic_for(page), gpu, page, record.is_write
+                self.policy.mechanic_for(page), gpu, page, record.is_write,
+                now + cycles + fault_cycles,
             )
             cycles += fault_cycles
             if m.event_log is not None:
@@ -226,17 +233,22 @@ class UvmDriver:
                 )
         return cycles
 
-    def handle_protection_fault(self, gpu: int, vpn: int) -> int:
+    def handle_protection_fault(
+        self, gpu: int, vpn: int, now: int = 0
+    ) -> int:
         """Resolve a write that hit a read-only (duplicated) translation."""
         m = self.machine
         m.counters.record_fault(FaultKind.PAGE_PROTECTION_FAULT, gpu)
         page = m.central_pt.get(vpn)
-        cycles = self.host_service(gpu)
+        cycles = self.host_service(gpu, now)
         cycles += self._observe_fault(
             gpu, vpn, FaultKind.PAGE_PROTECTION_FAULT, True
         )
         cycles += self.duplication.collapse_to_writer(
-            page, gpu, flush_scale=self.policy.flush_scale
+            page,
+            gpu,
+            flush_scale=self.policy.flush_scale,
+            now=now + cycles,
         )
         if m.event_log is not None:
             m.event_log.emit(
@@ -244,7 +256,7 @@ class UvmDriver:
             )
         return cycles
 
-    def on_remote_access(self, gpu: int, vpn: int) -> int:
+    def on_remote_access(self, gpu: int, vpn: int, now: int = 0) -> int:
         """Account one remote data access; may fire a counter migration."""
         m = self.machine
         m.counters.remote_accesses += 1
@@ -256,9 +268,12 @@ class UvmDriver:
             return 0
         # Threshold reached: the driver broadcasts invalidations and
         # migrates the page toward the counting GPU (Section II-B2).
-        cycles = self.host_service(gpu)
+        cycles = self.host_service(gpu, now)
         cycles += self.migration.migrate(
-            page, gpu, flush_scale=self.policy.flush_scale
+            page,
+            gpu,
+            flush_scale=self.policy.flush_scale,
+            now=now + cycles,
         )
         return cycles
 
@@ -271,11 +286,11 @@ class UvmDriver:
         subscribers = page.holders() - {gpu}
         if not subscribers:
             return 0
-        cycles = len(subscribers) * m.config.latency.gps_store_broadcast
+        cycles = m.kernel.gps_broadcast(len(subscribers))
         m.breakdown.charge(LatencyCategory.REMOTE_ACCESS, cycles)
         return cycles
 
-    def prefetch_page(self, gpu: int, vpn: int) -> bool:
+    def prefetch_page(self, gpu: int, vpn: int, now: int = 0) -> bool:
         """Background prefetch of an un-placed page toward ``gpu``.
 
         Only pages still resident on the host are prefetched (pulling a
@@ -289,9 +304,12 @@ class UvmDriver:
         page = m.central_pt.get(vpn)
         if page.owner != HOST_NODE:
             return False
-        m.topology.transfer(HOST_NODE, gpu, m.config.page_size)
+        # The pull is free to the faulting stream but still consumes
+        # link occupancy, so in queued mode foreground transfers queue
+        # behind it.
+        m.kernel.transfer(HOST_NODE, gpu, m.config.page_size, now)
         self.migration.install_frame(
-            gpu, vpn, False, LatencyCategory.PAGE_MIGRATION
+            gpu, vpn, False, LatencyCategory.PAGE_MIGRATION, now=now
         )
         page.owner = gpu
         m.gpus[gpu].page_table.map(vpn, gpu, writable=True)
@@ -304,13 +322,11 @@ class UvmDriver:
     # shared charges (used by the executors and the entry points)
     # ------------------------------------------------------------------
 
-    def host_service(self, gpu: int) -> int:
+    def host_service(self, gpu: int, now: int = 0) -> int:
         """PCIe hop plus UVM software service time, charged to Host."""
         m = self.machine
-        cycles = m.topology.control_message(gpu, HOST_NODE)
-        cycles += int(
-            m.config.latency.host_fault_service
-            * self.policy.fault_service_scale
+        cycles = m.kernel.host_service(
+            gpu, now, self.policy.fault_service_scale
         )
         m.breakdown.charge(LatencyCategory.HOST, cycles)
         return cycles

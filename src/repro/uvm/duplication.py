@@ -33,6 +33,7 @@ class DuplicationEngine:
         dest: int,
         writable_replica: bool = False,
         flush_scale: float = 1.0,
+        now: int = 0,
     ) -> int:
         """Copy ``page`` into ``dest``'s memory as a read replica.
 
@@ -51,16 +52,21 @@ class DuplicationEngine:
         if page.owner == HOST_NODE:
             # Nothing to replicate yet: first touch places the page.
             return self.migration.place_from_host(
-                page, dest, LatencyCategory.PAGE_DUPLICATION, flush_scale
+                page,
+                dest,
+                LatencyCategory.PAGE_DUPLICATION,
+                flush_scale,
+                now=now,
             )
         src = page.owner
-        cycles = m.topology.transfer(src, dest, m.config.page_size)
+        cycles = m.kernel.transfer(src, dest, m.config.page_size, now)
         cycles += self.migration.install_frame(
             dest,
             page.vpn,
             False,
             LatencyCategory.PAGE_DUPLICATION,
             flush_scale,
+            now=now + cycles,
         )
         page.replicas.add(dest)
         m.gpus[dest].page_table.map(page.vpn, dest, writable=writable_replica)
@@ -97,6 +103,7 @@ class DuplicationEngine:
         writer: int,
         flush_scale: float = 1.0,
         charge: bool = True,
+        now: int = 0,
     ) -> int:
         """Resolve a write to a duplicated page: writer becomes sole owner.
 
@@ -105,29 +112,30 @@ class DuplicationEngine:
         data is transferred as part of the collapse).
         """
         m = self.machine
-        latency = m.config.latency
+        kernel = m.kernel
         cycles = 0
         writer_has_copy = page.is_local_to(writer)
         # Every other holder drains, flushes, and drops its copy.
         losers = page.holders() - {writer}
         for loser in sorted(losers):
-            flush = int(latency.pipeline_flush * flush_scale)
+            flush = kernel.pipeline_flush(flush_scale)
             m.gpus[loser].flush_pipeline_and_tlbs()
             m.gpus[loser].clock += flush
             m.gpus[loser].invalidate_translation(page.vpn)
             m.gpus[loser].dram.release(page.vpn)
-            cycles += flush + int(
-                latency.invalidation_per_gpu * flush_scale
-            )
+            cycles += flush + kernel.invalidation(1, flush_scale)
         if not writer_has_copy:
             src = page.owner if page.owner != HOST_NODE else HOST_NODE
-            cycles += m.topology.transfer(src, writer, m.config.page_size)
+            cycles += kernel.transfer(
+                src, writer, m.config.page_size, now + cycles
+            )
             cycles += self.migration.install_frame(
                 writer,
                 page.vpn,
                 True,
                 LatencyCategory.WRITE_COLLAPSE,
                 flush_scale,
+                now=now + cycles,
             )
         page.replicas.clear()
         page.owner = writer
@@ -158,12 +166,11 @@ class DuplicationEngine:
         invalidates the corresponding PTEs/TLBs for consistency.
         """
         m = self.machine
-        latency = m.config.latency
         cycles = 0
         for replica in sorted(page.replicas):
             m.gpus[replica].invalidate_translation(page.vpn)
             m.gpus[replica].dram.release(page.vpn)
-            cycles += int(latency.invalidation_per_gpu * flush_scale)
+            cycles += m.kernel.invalidation(1, flush_scale)
         page.replicas.clear()
         if page.owner != HOST_NODE:
             owner_pte = m.gpus[page.owner].page_table.lookup(page.vpn)

@@ -29,9 +29,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.uvm.driver import UvmDriver
 
 #: An executor resolves one local fault with one mechanic; it receives
-#: the driver (for the mechanics engines and machine state) and returns
-#: the stall cycles the faulting access pays.
-ExecutorFn = Callable[["UvmDriver", int, PageInfo, bool], int]
+#: the driver (for the mechanics engines and machine state) plus the
+#: simulated cycle the fault reaches resolution, and returns the stall
+#: cycles the faulting access pays.
+ExecutorFn = Callable[["UvmDriver", int, PageInfo, bool, int], int]
 
 #: Default executor table every :class:`MechanicExecutor` starts from.
 DEFAULT_EXECUTORS: Dict[Mechanic, ExecutorFn] = {}
@@ -63,13 +64,18 @@ class MechanicExecutor:
         return frozenset(self._handlers)
 
     def execute(
-        self, mechanic: Mechanic, gpu: int, page: PageInfo, is_write: bool
+        self,
+        mechanic: Mechanic,
+        gpu: int,
+        page: PageInfo,
+        is_write: bool,
+        now: int = 0,
     ) -> int:
         """Resolve one fault on ``page`` for ``gpu``; returns cycles."""
         handler = self._handlers.get(mechanic)
         if handler is None:
             raise PolicyError(f"no executor registered for {mechanic!r}")
-        return handler(self.driver, gpu, page, is_write)
+        return handler(self.driver, gpu, page, is_write, now)
 
 
 # ----------------------------------------------------------------------
@@ -79,11 +85,11 @@ class MechanicExecutor:
 
 @executes(Mechanic.ON_TOUCH)
 def execute_on_touch(
-    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool
+    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool, now: int
 ) -> int:
     """Migrate the faulting page to the requester (Section II-B1)."""
     cycles = driver.migration.migrate(
-        page, gpu, flush_scale=driver.policy.flush_scale
+        page, gpu, flush_scale=driver.policy.flush_scale, now=now
     )
     if is_write:
         page.dirty = True
@@ -94,7 +100,7 @@ def execute_on_touch(
 
 @executes(Mechanic.ACCESS_COUNTER)
 def execute_access_counter(
-    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool
+    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool, now: int
 ) -> int:
     """Map the page where it lives; counters earn the migration.
 
@@ -102,15 +108,19 @@ def execute_access_counter(
     maps the page where it lives (host memory) and lets the access
     counters earn the migration (Section II-B2).
     """
-    return _remote_map(driver, gpu, page, is_write, place_on_first_touch=False)
+    return _remote_map(
+        driver, gpu, page, is_write, now, place_on_first_touch=False
+    )
 
 
 @executes(Mechanic.PEER_REMOTE)
 def execute_peer_remote(
-    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool
+    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool, now: int
 ) -> int:
     """First-touch pins the page at its first toucher; others map it."""
-    return _remote_map(driver, gpu, page, is_write, place_on_first_touch=True)
+    return _remote_map(
+        driver, gpu, page, is_write, now, place_on_first_touch=True
+    )
 
 
 def _remote_map(
@@ -118,6 +128,7 @@ def _remote_map(
     gpu: int,
     page: PageInfo,
     is_write: bool,
+    now: int,
     place_on_first_touch: bool,
 ) -> int:
     """AC / first-touch: establish a (possibly remote) mapping."""
@@ -128,7 +139,8 @@ def _remote_map(
             page.dirty = True
             page.ever_written = True
         cycles = driver.migration.place_from_host(
-            page, gpu, LatencyCategory.PAGE_MIGRATION, flush_scale
+            page, gpu, LatencyCategory.PAGE_MIGRATION, flush_scale,
+            now=now,
         )
         if is_write:
             machine.gpus[gpu].dram.mark_dirty(page.vpn)
@@ -148,7 +160,7 @@ def _remote_map(
 
 @executes(Mechanic.DUPLICATION)
 def execute_duplication(
-    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool
+    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool, now: int
 ) -> int:
     """Replicate reads, collapse writes (Section II-B3)."""
     machine = driver.machine
@@ -165,6 +177,7 @@ def execute_duplication(
             LatencyCategory.PAGE_DUPLICATION,
             flush_scale,
             writable=is_write,
+            now=now,
         )
         if is_write:
             machine.gpus[gpu].dram.mark_dirty(page.vpn)
@@ -172,14 +185,16 @@ def execute_duplication(
     if is_write:
         # Faulting write by a GPU with no copy: collapse-with-move.
         return driver.duplication.collapse_to_writer(
-            page, gpu, flush_scale=flush_scale
+            page, gpu, flush_scale=flush_scale, now=now
         )
-    return driver.duplication.duplicate(page, gpu, flush_scale=flush_scale)
+    return driver.duplication.duplicate(
+        page, gpu, flush_scale=flush_scale, now=now
+    )
 
 
 @executes(Mechanic.GPS)
 def execute_gps(
-    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool
+    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool, now: int
 ) -> int:
     """Subscribe the requester with a writable replica (GPS)."""
     machine = driver.machine
@@ -189,7 +204,8 @@ def execute_gps(
             page.dirty = True
             page.ever_written = True
         cycles = driver.migration.place_from_host(
-            page, gpu, LatencyCategory.PAGE_DUPLICATION, flush_scale
+            page, gpu, LatencyCategory.PAGE_DUPLICATION, flush_scale,
+            now=now,
         )
         if is_write:
             machine.gpus[gpu].dram.mark_dirty(page.vpn)
@@ -197,22 +213,22 @@ def execute_gps(
     # Subscribe: a writable replica.  The write broadcast itself is
     # charged uniformly by the engine for every GPS write.
     return driver.duplication.duplicate(
-        page, gpu, writable_replica=True, flush_scale=flush_scale
+        page, gpu, writable_replica=True, flush_scale=flush_scale, now=now
     )
 
 
 @executes(Mechanic.IDEAL)
 def execute_ideal(
-    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool
+    driver: "UvmDriver", gpu: int, page: PageInfo, is_write: bool, now: int
 ) -> int:
     """The paper's Ideal: only the first cold touch pays anything."""
     machine = driver.machine
     cycles = 0
     if page.owner == HOST_NODE:
         # The one cost Ideal pays: the first cold touch of a page.
-        cycles = driver.host_service(gpu)
-        transfer = machine.topology.transfer(
-            HOST_NODE, gpu, machine.config.page_size
+        cycles = driver.host_service(gpu, now)
+        transfer = machine.kernel.transfer(
+            HOST_NODE, gpu, machine.config.page_size, now + cycles
         )
         machine.breakdown.charge(LatencyCategory.PAGE_MIGRATION, transfer)
         cycles += transfer

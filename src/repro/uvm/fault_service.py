@@ -66,21 +66,22 @@ class FaultService:
         parked in the GPU's buffer for a later drain.
         """
         if self.batch_size == 1:
-            return self.driver.handle_local_fault(gpu, vpn, is_write)
+            return self.driver.handle_local_fault(gpu, vpn, is_write, now)
         self.buffers[gpu].deposit(
             FaultEvent(FaultKind.LOCAL_PAGE_FAULT, gpu, vpn, is_write, now)
         )
         return None
 
-    def drain(self, gpu: int) -> Tuple[int, List[FaultEvent]]:
+    def drain(self, gpu: int, now: int = 0) -> Tuple[int, List[FaultEvent]]:
         """Service everything parked in ``gpu``'s buffer as one batch.
 
         Returns ``(cycles, records)``: the stall cycles the batch
         charges the draining GPU, and the deposited records (in
         arrival order, duplicates included) the engine must replay.
+        ``now`` is the draining GPU's clock at the drain.
         """
         records = self.buffers[gpu].drain()
         if not records:
             return 0, []
-        cycles = self.driver.service_fault_batch(gpu, records)
+        cycles = self.driver.service_fault_batch(gpu, records, now)
         return cycles, records

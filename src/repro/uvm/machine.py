@@ -23,6 +23,7 @@ from repro.stats.latency import LatencyBreakdown
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.tracer import SpanTracer
     from repro.sim.gpu import GpuNode
+    from repro.sim.timing import TimingKernel
     from repro.stats.events import EventLog
 
 
@@ -34,6 +35,9 @@ class MachineState:
     gpus: List["GpuNode"]
     central_pt: CentralPageTable
     topology: Topology
+    #: The contended-resource timing kernel every cycle charge routes
+    #: through (see repro.sim.timing).
+    kernel: "TimingKernel"
     access_counters: AccessCounterFile
     counters: EventCounters
     breakdown: LatencyBreakdown
@@ -54,17 +58,20 @@ class MachineState:
     ) -> "MachineState":
         """Construct the full machine for a workload footprint."""
         from repro.sim.gpu import GpuNode
+        from repro.sim.timing import TimingKernel
 
         frames = config.dram_frames_per_gpu(footprint_pages)
         gpus = [
             GpuNode(gpu_id=g, config=config, dram_frames=frames)
             for g in range(config.num_gpus)
         ]
+        topology = Topology(config.num_gpus, config.latency)
         return cls(
             config=config,
             gpus=gpus,
             central_pt=CentralPageTable(default_scheme=initial_scheme),
-            topology=Topology(config.num_gpus, config.latency),
+            topology=topology,
+            kernel=TimingKernel(config, topology),
             access_counters=AccessCounterFile(
                 threshold=config.access_counter_threshold,
                 pages_per_group=config.pages_per_counter_group,

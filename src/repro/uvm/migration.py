@@ -31,6 +31,7 @@ class MigrationEngine:
         category: LatencyCategory,
         flush_scale: float = 1.0,
         writable: bool = True,
+        now: int = 0,
     ) -> int:
         """First touch: move the page from host memory to ``dest``.
 
@@ -39,9 +40,12 @@ class MigrationEngine:
         protection fault and upgrades through the UVM driver.
         """
         m = self.machine
-        cycles = m.topology.transfer(HOST_NODE, dest, m.config.page_size)
+        cycles = m.kernel.transfer(
+            HOST_NODE, dest, m.config.page_size, now
+        )
         cycles += self.install_frame(
-            dest, page.vpn, False, category, flush_scale
+            dest, page.vpn, False, category, flush_scale,
+            now=now + cycles,
         )
         page.owner = dest
         page.dirty = False
@@ -55,12 +59,15 @@ class MigrationEngine:
         dest: int,
         category: LatencyCategory = LatencyCategory.PAGE_MIGRATION,
         flush_scale: float = 1.0,
+        now: int = 0,
     ) -> int:
         """Move the authoritative copy of ``page`` to GPU ``dest``."""
         m = self.machine
         if page.owner == HOST_NODE:
             m.counters.migrations += 1
-            cycles = self.place_from_host(page, dest, category, flush_scale)
+            cycles = self.place_from_host(
+                page, dest, category, flush_scale, now=now
+            )
             if m.event_log is not None:
                 m.event_log.emit(
                     EventKind.MIGRATION,
@@ -76,12 +83,12 @@ class MigrationEngine:
                 page.vpn, dest, writable=not page.replicas
             )
             return 0
-        latency = m.config.latency
+        kernel = m.kernel
         old_owner = page.owner
         cycles = 0
         # 1. Drain the owning GPU's pipeline and flush caches/TLBs.  The
         # requester waits for it and the owner loses the time too.
-        flush = int(latency.pipeline_flush * flush_scale)
+        flush = kernel.pipeline_flush(flush_scale)
         m.gpus[old_owner].flush_pipeline_and_tlbs()
         m.gpus[old_owner].clock += flush
         cycles += flush
@@ -91,12 +98,15 @@ class MigrationEngine:
             m.gpus[replica].dram.release(page.vpn)
         page.replicas.clear()
         invalidated = m.invalidate_everywhere(page.vpn)
-        cycles += int(invalidated * latency.invalidation_per_gpu * flush_scale)
+        cycles += kernel.invalidation(invalidated, flush_scale)
         # 3. Transfer the page and install it at the destination.
         m.gpus[old_owner].dram.release(page.vpn)
-        cycles += m.topology.transfer(old_owner, dest, m.config.page_size)
+        cycles += kernel.transfer(
+            old_owner, dest, m.config.page_size, now + cycles
+        )
         cycles += self.install_frame(
-            dest, page.vpn, page.dirty, category, flush_scale
+            dest, page.vpn, page.dirty, category, flush_scale,
+            now=now + cycles,
         )
         page.owner = dest
         m.gpus[dest].page_table.map(page.vpn, dest, writable=True)
@@ -120,6 +130,7 @@ class MigrationEngine:
         dirty: bool,
         category: LatencyCategory,
         flush_scale: float = 1.0,
+        now: int = 0,
     ) -> int:
         """Claim a DRAM frame on ``gpu``, evicting the LRU page if full.
 
@@ -129,13 +140,14 @@ class MigrationEngine:
         eviction = self.machine.gpus[gpu].dram.install(vpn, dirty)
         if eviction is None:
             return 0
-        return self._handle_eviction(gpu, eviction, flush_scale)
+        return self._handle_eviction(gpu, eviction, flush_scale, now)
 
     def _handle_eviction(
         self,
         gpu: int,
         eviction: EvictionResult,
         flush_scale: float,
+        now: int,
     ) -> int:
         """Demote the evicted page and fix up mappings and ownership."""
         m = self.machine
@@ -159,11 +171,7 @@ class MigrationEngine:
                 if pte is not None and pte.location == gpu:
                     node.invalidate_translation(victim.vpn)
                     invalidated += 1
-            cycles += int(
-                invalidated
-                * m.config.latency.invalidation_per_gpu
-                * flush_scale
-            )
+            cycles += m.kernel.invalidation(invalidated, flush_scale)
             if victim.replicas:
                 # Another GPU already holds the data; promote it to
                 # owner instead of falling back to the host.
@@ -184,8 +192,8 @@ class MigrationEngine:
             else:
                 victim.owner = HOST_NODE
                 if eviction.was_dirty:
-                    cycles += m.topology.transfer(
-                        gpu, HOST_NODE, m.config.page_size
+                    cycles += m.kernel.transfer(
+                        gpu, HOST_NODE, m.config.page_size, now + cycles
                     )
                 victim.dirty = False
             m.access_counters.reset_group(victim.vpn)

@@ -2,7 +2,7 @@
 
 from repro.config import SystemConfig
 from repro.harness.experiment import ExperimentRunner
-from repro.harness.parallel import (
+from repro.harness.orchestrator import (
     headline_keys,
     run_keys_parallel,
     warm_runner_parallel,

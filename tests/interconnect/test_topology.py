@@ -51,3 +51,41 @@ class TestTopology:
     def test_rejects_zero_gpus(self, latency):
         with pytest.raises(ConfigError):
             Topology(0, latency)
+
+
+class TestTopologyResources:
+    """Link enumeration and contention roll-ups."""
+
+    def test_links_enumerates_fabric_and_uplink(self, topology):
+        names = {link.name for link in topology.links()}
+        assert "nvlink-0-1" in names
+        assert "pcie-0" in names
+        assert "pcie-host" in names
+        # 4 GPUs: C(4,2) NVLinks + 4 PCIe + the shared host uplink.
+        assert len(topology.links()) == 6 + 4 + 1
+
+    def test_host_uplink_not_routed_directly(self, topology):
+        # link_between never returns the uplink; it is an additional
+        # resource host transfers cross, not a routing destination.
+        for gpu in range(4):
+            assert topology.link_between(gpu, HOST_NODE) is not (
+                topology.host_uplink
+            )
+
+    def test_wait_and_peak_rollups(self, topology):
+        link = topology.link_between(0, 1)
+        link.reserve_transfer(0, 4096)
+        link.reserve_transfer(0, 4096)
+        assert topology.total_wait_cycles() == link.wait_cycles
+        assert topology.peak_occupancy() == link.peak_occupancy
+        assert topology.total_wait_cycles() > 0
+
+    def test_total_messages_counts_all_links(self, topology):
+        topology.transfer(0, 1, 100)
+        topology.control_message(2, HOST_NODE)
+        assert topology.total_messages() == 2
+
+    def test_single_gpu_rollups_empty(self, latency):
+        topo = Topology(1, latency)
+        assert topo.total_wait_cycles() == 0
+        assert topo.peak_occupancy() == 0

@@ -224,6 +224,51 @@ class TestLatencyChargeRule:
         assert lint(clean, relpath="stats/fixture.py") == []
 
 
+class TestTimingKernelRoutingRule:
+    def test_flags_raw_charging_constant_read(self):
+        findings = lint(
+            """
+            def charge(m, scale):
+                return int(m.config.latency.pipeline_flush * scale)
+            """,
+            relpath="uvm/fixture.py",
+        )
+        assert ids(findings) == ["GRIT-C007"]
+
+    def test_flags_bare_latency_name(self):
+        findings = lint(
+            """
+            def charge(latency):
+                return latency.host_fault_service
+            """,
+            relpath="sim/fixture.py",
+        )
+        assert ids(findings) == ["GRIT-C007"]
+
+    def test_kernel_methods_with_same_names_are_clean(self):
+        clean = """
+        def charge(machine, scale):
+            cycles = machine.kernel.pipeline_flush(scale)
+            cycles += machine.kernel.invalidation(2, scale)
+            return cycles
+        """
+        assert lint(clean, relpath="uvm/fixture.py") == []
+
+    def test_kernel_modules_may_read_constants(self):
+        allowed = """
+        def flush(self, scale):
+            return int(self.latency.pipeline_flush * scale)
+        """
+        assert lint(allowed, relpath="sim/timing.py") == []
+
+    def test_non_charging_latency_fields_are_clean(self):
+        clean = """
+        def discount(config):
+            return config.latency.acud_discount
+        """
+        assert lint(clean, relpath="policies/fixture.py") == []
+
+
 def _write_package(tmp_path, registry_body, docs=""):
     """Build a minimal fake package for the project-wide rules."""
     pkg = tmp_path / "pkg"

@@ -179,6 +179,7 @@ class TestSelection:
             "fir-grit",
             "st-grit",
             "bfs-grit",
+            "fir-grit-contended",
         ]
 
     def test_unknown_case_rejected(self):

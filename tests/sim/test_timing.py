@@ -1,0 +1,236 @@
+"""The contended-resource timing kernel (repro.sim.timing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LatencyModel, SystemConfig
+from repro.constants import HOST_NODE
+from repro.errors import ConfigError
+from repro.interconnect.topology import Topology
+from repro.memsys.dram import DramChannel
+from repro.policies import make_policy
+from repro.sim.engine import simulate
+from repro.sim.timing import (
+    CACHE_LINE_BYTES,
+    CONTENTION_ENV_VAR,
+    AccessCosts,
+    TimingKernel,
+    contention_mode,
+)
+from repro.workloads import make_workload
+
+
+def build_kernel(mode: str, num_gpus: int = 4):
+    config = SystemConfig(num_gpus=num_gpus, contention=mode)
+    topology = Topology(num_gpus, config.latency)
+    return TimingKernel(config, topology), topology
+
+
+class TestContentionMode:
+    def test_config_default_is_none(self):
+        assert contention_mode(SystemConfig()) == "none"
+
+    def test_config_queued(self):
+        config = SystemConfig(contention="queued")
+        assert contention_mode(config) == "queued"
+
+    def test_config_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(contention="chaotic")
+
+    def test_env_overrides_config(self, monkeypatch):
+        monkeypatch.setenv(CONTENTION_ENV_VAR, "queued")
+        assert contention_mode(SystemConfig()) == "queued"
+        monkeypatch.setenv(CONTENTION_ENV_VAR, "none")
+        config = SystemConfig(contention="queued")
+        assert contention_mode(config) == "none"
+
+    def test_env_shorthand_one(self, monkeypatch):
+        monkeypatch.setenv(CONTENTION_ENV_VAR, "1")
+        assert contention_mode(SystemConfig()) == "queued"
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv(CONTENTION_ENV_VAR, "yes")
+        with pytest.raises(ConfigError):
+            contention_mode(SystemConfig())
+
+
+class TestDramChannel:
+    def test_idle_reserve_is_free(self):
+        channel = DramChannel("test", service_cycles=25)
+        assert channel.reserve(100) == 0
+        assert channel.busy_until == 125
+
+    def test_busy_reserve_waits(self):
+        channel = DramChannel("test", service_cycles=25)
+        channel.reserve(0)
+        assert channel.reserve(10) == 15
+        assert channel.wait_cycles == 15
+        assert channel.peak_occupancy == 15
+        assert channel.accesses == 2
+
+    def test_reset_stats(self):
+        channel = DramChannel("test", service_cycles=25)
+        channel.reserve(0)
+        channel.reserve(0)
+        channel.reset_stats()
+        assert channel.accesses == 0
+        assert channel.wait_cycles == 0
+        assert channel.busy_until == 0
+
+    def test_rejects_nonpositive_service(self):
+        with pytest.raises(ValueError):
+            DramChannel("bad", service_cycles=0)
+
+
+class TestFlatModeIdentity:
+    """``contention="none"`` reproduces the classic flat charges."""
+
+    def test_transfer_matches_topology_cost(self):
+        kernel, topology = build_kernel("none")
+        flat = topology.link_between(0, 1).transfer_cost(4096)
+        assert kernel.transfer(0, 1, 4096, now=12345) == flat
+        # ``now`` is ignored: same price at any timestamp.
+        assert kernel.transfer(0, 1, 4096, now=0) == flat
+
+    def test_transfer_still_accounts_traffic(self):
+        kernel, topology = build_kernel("none")
+        kernel.transfer(0, 1, 4096, now=0)
+        assert topology.link_between(0, 1).bytes_transferred == 4096
+
+    def test_accesses_match_cost_table(self):
+        kernel, _ = build_kernel("none")
+        costs = AccessCosts.from_latency(LatencyModel())
+        assert kernel.local_access(0, now=0) == costs.local_access
+        cycles, penalty = kernel.remote_access(0, 1, False, now=0)
+        assert (cycles, penalty) == (
+            costs.remote_access[False],
+            costs.remote_penalty[False],
+        )
+        cycles, penalty = kernel.host_access(0, True, now=0)
+        assert (cycles, penalty) == (
+            costs.host_access[True],
+            costs.host_penalty[True],
+        )
+
+    def test_host_service_matches_classic_formula(self):
+        kernel, topology = build_kernel("none")
+        latency = LatencyModel()
+        expected = topology.link_between(
+            0, HOST_NODE
+        ).message_cost() + int(latency.host_fault_service * 0.5)
+        assert kernel.host_service(0, now=0, scale=0.5) == expected
+
+    def test_fixed_charges(self):
+        kernel, _ = build_kernel("none")
+        latency = LatencyModel()
+        assert kernel.pipeline_flush(1.0) == latency.pipeline_flush
+        assert kernel.invalidation(3, 1.0) == (
+            3 * latency.invalidation_per_gpu
+        )
+        assert kernel.gps_broadcast(4) == (
+            4 * latency.gps_store_broadcast
+        )
+
+    def test_invalidation_per_unit_matches_batched(self):
+        # collapse charges per loser; migrate charges the batch — the
+        # two forms must agree for any flush scale.
+        kernel, _ = build_kernel("none")
+        for scale in (1.0, 0.5, 0.3):
+            batched = kernel.invalidation(3, scale)
+            summed = sum(kernel.invalidation(1, scale) for _ in range(3))
+            assert batched == summed
+
+    def test_no_resource_state_mutates(self):
+        kernel, topology = build_kernel("none")
+        kernel.transfer(0, 1, 4096, now=0)
+        kernel.remote_access(0, 1, False, now=0)
+        kernel.host_access(0, False, now=0)
+        assert topology.total_wait_cycles() == 0
+        assert all(link.busy_until == 0 for link in topology.links())
+        assert kernel.dram_wait_cycles() == 0
+
+
+class TestQueuedMode:
+    def test_transfer_queues_behind_earlier_transfer(self):
+        kernel, topology = build_kernel("queued")
+        flat = kernel.transfer_cost(0, 1, 4096)
+        first = kernel.transfer(0, 1, 4096, now=0)
+        second = kernel.transfer(0, 1, 4096, now=0)
+        assert first == flat
+        assert second > flat
+        assert topology.link_between(0, 1).wait_cycles > 0
+
+    def test_host_transfers_share_the_uplink(self):
+        kernel, topology = build_kernel("queued")
+        # Different GPUs, different PCIe links — but the same root
+        # port, so the second transfer queues on the shared uplink.
+        flat = kernel.transfer_cost(HOST_NODE, 0, 4096)
+        assert kernel.transfer(HOST_NODE, 0, 4096, now=0) == flat
+        assert kernel.transfer(HOST_NODE, 1, 4096, now=0) > flat
+        assert topology.host_uplink.wait_cycles > 0
+
+    def test_remote_access_queues_on_owner_channel(self):
+        kernel, _ = build_kernel("queued")
+        first, _ = kernel.remote_access(0, 1, False, now=0)
+        second, _ = kernel.remote_access(2, 1, False, now=0)
+        # Two GPUs hitting GPU 1's DRAM at the same instant: the
+        # second pays the first's channel service time.
+        assert second > first
+        assert kernel.channels[1].wait_cycles > 0
+
+    def test_access_reservations_do_not_inflate_traffic(self):
+        kernel, topology = build_kernel("queued")
+        kernel.remote_access(0, 1, False, now=0)
+        link = topology.link_between(0, 1)
+        assert link.bytes_transferred == 0
+        assert link.messages == 0
+        assert link.busy_until > 0
+
+    def test_cache_line_occupancy_is_modest(self):
+        kernel, topology = build_kernel("queued")
+        kernel.remote_access(0, 1, False, now=0)
+        link = topology.link_between(0, 1)
+        assert link.busy_until <= link.serialization_cycles(
+            CACHE_LINE_BYTES
+        )
+
+    def test_dram_stats_rollups(self):
+        kernel, _ = build_kernel("queued")
+        kernel.local_access(0, now=0)
+        kernel.local_access(0, now=0)
+        assert kernel.dram_accesses() == 2
+        assert kernel.dram_wait_cycles() > 0
+        assert kernel.dram_peak_occupancy() > 0
+        assert len(kernel.dram_channels()) == 5  # 4 GPUs + host
+
+
+class TestEndToEndContention:
+    """Acceptance: queued mode changes timing, none mode does not."""
+
+    def run(self, mode: str):
+        config = SystemConfig(num_gpus=4, contention=mode)
+        trace = make_workload("fir", num_gpus=4, scale=0.05)
+        return simulate(config, trace, make_policy("grit"))
+
+    def test_none_and_queued_agree_on_behaviour(self):
+        flat = self.run("none")
+        queued = self.run("queued")
+        # Contention reprices time; it must not change what happened.
+        assert (
+            flat.counters.migrations == queued.counters.migrations
+        )
+        assert flat.counters.accesses == queued.counters.accesses
+
+    def test_queued_reports_nonzero_link_waits(self):
+        result = self.run("queued")
+        assert result.details["contention"] == "queued"
+        assert result.details["link_wait_cycles"] > 0
+        assert result.total_cycles > self.run("none").total_cycles
+
+    def test_none_reports_zero_waits(self):
+        result = self.run("none")
+        assert result.details["contention"] == "none"
+        assert result.details["link_wait_cycles"] == 0
+        assert result.details["dram_wait_cycles"] == 0

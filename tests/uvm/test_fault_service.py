@@ -159,7 +159,7 @@ class TestMechanicExecutor:
         policy = make_policy("on_touch")
         calls = []
 
-        def counting(driver, gpu, page, is_write):
+        def counting(driver, gpu, page, is_write, now):
             calls.append(page.vpn)
             return 0
 
