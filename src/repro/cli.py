@@ -71,6 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="local faults the UVM driver services per batch; 1 (the "
         "default) services every fault inline at the faulting access",
     )
+    run.add_argument(
+        "--no-fast-path",
+        action="store_true",
+        help="disable the vectorized steady-state fast path and run "
+        "every access through the scalar pipeline (results are "
+        "bit-identical either way; GRIT_FAST_PATH overrides)",
+    )
     _add_observe_arguments(run)
 
     trace_cmd = sub.add_parser(
@@ -495,6 +502,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         page_size=args.page_size,
         fault_batch_size=args.fault_batch,
         contention=args.contention,
+        fast_path=not args.no_fast_path,
     )
     if args.trace or args.metrics:
         result, observation = _observed_simulate(

@@ -269,6 +269,15 @@ class SystemConfig:
     #: ``GRIT_CONTENTION=queued`` environment variable overrides it
     #: globally.
     contention: str = "none"
+    #: Vectorized steady-state fast path of the engine (see
+    #: repro.sim.fastpath).  When on, runs of accesses that all hit
+    #: already-resident, already-translated local pages are priced in
+    #: one numpy step instead of one Python trip each — bit-for-bit
+    #: identical results, much faster replay.  Automatically disabled
+    #: under ``contention="queued"`` (reservations are order-
+    #: sensitive).  The ``GRIT_FAST_PATH=0/1`` environment variable
+    #: overrides it globally.
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:

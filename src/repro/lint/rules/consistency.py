@@ -331,6 +331,61 @@ class TimingKernelRoutingRule(FileRule):
         )
 
 
+#: The module that owns StreamCursor and its batch API.
+_CURSOR_OWNER = "sim/pipeline.py"
+
+
+@rule
+class CursorBatchApiRule(FileRule):
+    """Engine modules consume cursors through the batch API."""
+
+    rule_id = "GRIT-C008"
+    description = (
+        "no sim/ module outside sim/pipeline.py may call .next() "
+        "directly on a stream cursor; per-access next() loops bypass "
+        "the peek_batch()/advance() API the steady-state fast path "
+        "and the chunked scalar pipeline are built on"
+    )
+    hint = (
+        "go through TranslationStage.next_access for scalar replay, "
+        "or peek()/peek_batch() + advance() for batched consumption"
+    )
+    scope = ("sim/",)
+
+    def visit_Call(
+        self, node: ast.Call, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        if module.relpath == _CURSOR_OWNER:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "next":
+            return
+        if _is_cursor_expr(func.value):
+            yield self.finding(
+                module,
+                node,
+                "direct cursor .next() call bypasses the stream "
+                "cursor's batch API",
+            )
+
+
+def _is_cursor_expr(node: ast.AST) -> bool:
+    """True for receivers that name a stream cursor.
+
+    Matches ``cursor``, ``self.cursor``, ``cursors[g]``,
+    ``self.cursors[gpu_id]``, ``stage.cursors[g]``, ... — any name or
+    attribute whose terminal identifier is ``cursor``/``cursors``
+    (optionally subscripted).
+    """
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in ("cursor", "cursors")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("cursor", "cursors")
+    return False
+
+
 @rule
 class CliDocumentedRule(ProjectRule):
     """Every CLI subcommand appears in README.md or docs/."""

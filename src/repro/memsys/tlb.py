@@ -43,6 +43,24 @@ class SetAssociativeTLB:
         self.hits += 1
         return entry
 
+    def peek(self, vpn: int) -> LocalPTE | None:
+        """Probe without touching LRU order or hit/miss counters.
+
+        The steady-state fast path uses this to *verify* that a run of
+        accesses would hit before committing to batch pricing; the
+        statistical effects of the verified hits are applied afterwards
+        in bulk (``hits`` bump plus :meth:`promote` per unique page).
+        """
+        return self._set_for(vpn).get(vpn)
+
+    def promote(self, vpn: int) -> None:
+        """MRU-promote an entry known to be resident (bulk fast path).
+
+        Raises ``KeyError`` when the entry is absent — callers must
+        have verified residency with :meth:`peek` first.
+        """
+        self._set_for(vpn).move_to_end(vpn)
+
     def insert(self, vpn: int, pte: LocalPTE) -> None:
         """Fill an entry, evicting the set's LRU victim if full."""
         entries = self._set_for(vpn)

@@ -87,6 +87,13 @@ class BenchCase:
     num_gpus: int = 2
     #: Timing-kernel mode the case runs under (see repro.sim.timing).
     contention: str = "none"
+    #: Allocation granularity in bytes (larger pages fold more base
+    #: pages together and lengthen steady-state runs).
+    page_size: int = 4096
+    #: Whether the vectorized steady-state fast path is enabled (see
+    #: repro.sim.fastpath); counters are identical either way, only
+    #: wall time differs.
+    fast_path: bool = True
 
 
 #: The default suite: the paper's baseline policy plus GRIT on three
@@ -100,6 +107,13 @@ DEFAULT_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
         "fir-grit-contended", "fir", "grit",
         num_gpus=4, contention="queued",
+    ),
+    # Large pages lengthen steady-state runs, so this case is where
+    # the vectorized fast path earns its keep; its counters are gated
+    # like every other case (fast path is bit-identical by design).
+    BenchCase(
+        "fir-grit-fastpath", "fir", "grit",
+        num_gpus=4, page_size=65536,
     ),
 )
 
@@ -154,6 +168,8 @@ class BenchResult:
             "policy": self.case.policy,
             "num_gpus": self.case.num_gpus,
             "contention": self.case.contention,
+            "page_size": self.case.page_size,
+            "fast_path": self.case.fast_path,
             "scale": self.scale,
             "repeats": self.repeats,
             "timings": {
@@ -203,7 +219,9 @@ def run_case(
             case.policy,
             num_gpus=case.num_gpus,
             scale=scale,
+            page_size=case.page_size,
             contention=case.contention,
+            fast_path=case.fast_path,
         )
         if registry is not None:
             registry.inc(catalog.BENCH_RUNS)
@@ -324,12 +342,14 @@ def compare_case(
     name = current.case.name
     findings: List[Regression] = []
     for field in ("workload", "policy", "num_gpus", "contention",
-                  "scale"):
-        # Pre-contention baselines did not record the field; they were
-        # all measured in the default flat mode.
-        recorded = baseline.get(
-            field, "none" if field == "contention" else None
-        )
+                  "page_size", "fast_path", "scale"):
+        # Older baselines predate some fields; each absent field
+        # defaults to the value every baseline was measured with at
+        # the time (flat contention, 4 KiB pages, fast path on).
+        defaults = {
+            "contention": "none", "page_size": 4096, "fast_path": True,
+        }
+        recorded = baseline.get(field, defaults.get(field))
         measured = getattr(
             current.case, field, None
         ) if field != "scale" else current.scale

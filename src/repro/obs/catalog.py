@@ -17,6 +17,8 @@ from repro.obs.metrics import MetricKind, MetricSpec, MetricsRegistry
 # -- counters (cumulative totals pulled from EventCounters) ------------
 
 SIM_ACCESSES = "sim.accesses.total"
+SIM_FASTPATH_RUNS = "sim.fastpath.runs.total"
+SIM_FASTPATH_ACCESSES = "sim.fastpath.accesses.total"
 UVM_LOCAL_FAULTS = "uvm.faults.local.total"
 UVM_PROTECTION_FAULTS = "uvm.faults.protection.total"
 UVM_MIGRATIONS = "uvm.migrations.total"
@@ -98,6 +100,10 @@ def _histogram(name: str, description: str) -> MetricSpec:
 #: Every metric the observability layer registers, in catalog order.
 METRICS: Tuple[MetricSpec, ...] = (
     _counter(SIM_ACCESSES, "memory accesses replayed by the engine"),
+    _counter(SIM_FASTPATH_RUNS, "steady-state runs priced in bulk by "
+             "the vectorized fast path", unit="runs"),
+    _counter(SIM_FASTPATH_ACCESSES, "accesses covered by fast-path "
+             "runs (the rest went through the scalar pipeline)"),
     _counter(UVM_LOCAL_FAULTS, "local page faults serviced by the driver"),
     _counter(UVM_PROTECTION_FAULTS, "page protection faults (writes to "
              "read-only duplicates)"),

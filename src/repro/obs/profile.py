@@ -114,6 +114,7 @@ def profile_run(
     scale: float = 0.3,
     page_size: int = 4096,
     contention: str = "none",
+    fast_path: bool = True,
 ) -> ProfiledRun:
     """Run one (workload, policy) pair with wall-time phase timing.
 
@@ -131,7 +132,10 @@ def profile_run(
 
     profiler = PhaseProfiler()
     config = SystemConfig(
-        num_gpus=num_gpus, page_size=page_size, contention=contention
+        num_gpus=num_gpus,
+        page_size=page_size,
+        contention=contention,
+        fast_path=fast_path,
     )
     with profiler.phase("generate-trace"):
         trace = make_workload(workload, num_gpus=num_gpus, scale=scale)

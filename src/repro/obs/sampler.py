@@ -43,6 +43,12 @@ class MetricsSampler:
         counters = machine.counters
         registry.set_total(catalog.SIM_ACCESSES, counters.accesses)
         registry.set_total(
+            catalog.SIM_FASTPATH_RUNS, counters.fastpath_runs
+        )
+        registry.set_total(
+            catalog.SIM_FASTPATH_ACCESSES, counters.fastpath_accesses
+        )
+        registry.set_total(
             catalog.UVM_LOCAL_FAULTS, counters.local_page_faults
         )
         registry.set_total(

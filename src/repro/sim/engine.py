@@ -16,6 +16,8 @@ driver and the parked accesses are then replayed.
 
 from __future__ import annotations
 
+import heapq
+
 from typing import TYPE_CHECKING
 
 from repro.config import SystemConfig
@@ -25,6 +27,7 @@ from repro.memsys.address import AddressSpace
 from repro.obs.run import RunObservation, observe_enabled
 from repro.obs.tracer import ENGINE_TRACK
 from repro.policies.base import PlacementPolicy
+from repro.sim.fastpath import FastPath, fast_path_enabled
 from repro.sim.pipeline import TranslationStage
 from repro.sim.result import SimulationResult
 from repro.stats.timeline import IntervalTimeline
@@ -87,6 +90,12 @@ class Engine:
             self.machine, trace, self.address_space
         )
         self.costs = self.machine.kernel.costs
+        # The vectorized steady-state fast path (repro.sim.fastpath):
+        # off under contention="queued", where every access is an
+        # order-sensitive reservation against live link/DRAM state.
+        self.fastpath: FastPath | None = None
+        if fast_path_enabled(config) and not self.machine.kernel.queued:
+            self.fastpath = FastPath(self)
         if prefetcher is not None:
             prefetcher.bind(self.driver)
 
@@ -109,25 +118,65 @@ class Engine:
         cursors = stage.cursors
         service = self.fault_service
         inline = service.inline
-        active = [g for g in range(len(cursors)) if len(cursors[g])]
+        fastpath = self.fastpath
+        # Scheduling heap: always advance the GPU that is furthest
+        # behind, ties broken by lowest id — (clock, gpu_id) tuples
+        # order exactly like the old min()-over-list selection without
+        # the O(n) scan and list surgery per access.
+        heap = [
+            (gpus[g].clock, g)
+            for g in range(len(cursors))
+            if len(cursors[g])
+        ]
+        heapq.heapify(heap)
 
-        while active:
-            # Advance the GPU that is furthest behind.
-            gpu_id = min(active, key=lambda g: gpus[g].clock)
+        while heap:
+            now, gpu_id = heap[0]
             node = gpus[gpu_id]
-            now = node.clock
+            if now != node.clock:
+                # Stale entry: a policy interval hook advanced this
+                # GPU's clock behind the heap's back (clocks only
+                # grow, so the refreshed entry re-sorts correctly).
+                heapq.heapreplace(heap, (node.clock, gpu_id))
+                continue
+            boundary = False
             if next_interval is not None and now >= next_interval:
+                boundary = True
                 policy.on_interval(now)
                 if observation is not None:
                     observation.tracer.instant(
                         "policy_interval", ENGINE_TRACK, now
                     )
-                next_interval += interval
+                # Realign instead of stepping one interval: a drain
+                # that jumped the clock past several boundaries fires
+                # the hook once (skipped boundaries coalesce) and the
+                # next boundary is the first one after ``now`` — the
+                # same catch-up rule the observation sampler uses.
+                next_interval = (now // interval + 1) * interval
             if obs_next is not None and now >= obs_next:
+                boundary = True
                 observation.sample(now)
                 obs_next = (
                     now // observation.sample_interval + 1
                 ) * observation.sample_interval
+            # Steady-state fast round: batch every GPU's verified
+            # steady prefix up to the joint horizon.  Skipped on a
+            # boundary iteration — the hook may have moved clocks, and
+            # the scalar path must replay this access with the
+            # pre-hook ``now`` exactly like the classic loop.
+            if (
+                fastpath is not None
+                and not boundary
+                and fastpath.round(heap, next_interval, obs_next)
+            ):
+                continue
+            heapq.heappop(heap)
+            if fastpath is not None:
+                # Scalar accesses (and the boundary hooks above) can
+                # fault, fill, migrate, or evict — anything the fast
+                # path verified against may change, so flag its cached
+                # verifications for revalidation before going scalar.
+                fastpath.invalidate(gpu_id)
             base_vpn, vpn, is_write = stage.next_access(gpu_id)
             if timeline is not None:
                 timeline.record(now, gpu_id, base_vpn, is_write)
@@ -146,7 +195,8 @@ class Engine:
                     node.clock += self._drain_faults(
                         gpu_id, node, node.clock
                     )
-                active.remove(gpu_id)
+            else:
+                heapq.heappush(heap, (node.clock, gpu_id))
 
         return self._build_result()
 
@@ -170,7 +220,7 @@ class Engine:
         if outcome.l2_missed:
             if pte is None:
                 serviced = self.fault_service.submit(
-                    gpu_id, vpn, is_write, now
+                    gpu_id, vpn, is_write, now, page=outcome.page
                 )
                 if serviced is None:
                     return cycles, True

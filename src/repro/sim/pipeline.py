@@ -36,6 +36,7 @@ from repro.sim.timing import AccessCosts
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.memsys.address import AddressSpace
+    from repro.memsys.page import PageInfo
     from repro.memsys.page_table import LocalPTE
     from repro.sim.gpu import GpuNode
     from repro.uvm.machine import MachineState
@@ -71,6 +72,11 @@ class AccessOutcome:
     cycles: int
     pte: "LocalPTE | None"
     l2_missed: bool
+    #: Central-page-table entry the walk already fetched for the
+    #: Figure 19 scheme tally.  The fault path reuses it instead of
+    #: consulting the central table a second time (it is the same
+    #: live object — pages mutate in place and are never replaced).
+    page: "PageInfo | None" = None
 
 
 class StreamCursor:
@@ -123,6 +129,41 @@ class StreamCursor:
         self.position = position + 1
         return self._chunk_vpns[offset], self._chunk_writes[offset]
 
+    def peek(self) -> Tuple[int, bool]:
+        """The next ``(vpn, is_write)`` pair without consuming it."""
+        position = self.position
+        if position >= self.length:
+            raise IndexError("stream cursor exhausted")
+        offset = position - self._chunk_base
+        if offset >= len(self._chunk_vpns):
+            self._load_chunk(position)
+            offset = 0
+        return self._chunk_vpns[offset], self._chunk_writes[offset]
+
+    def peek_batch(
+        self, limit: int = CURSOR_CHUNK
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy ``(vpns, writes)`` window of upcoming accesses.
+
+        Returns numpy views over the trace arrays starting at the
+        cursor position, at most ``limit`` entries long.  This is the
+        batch entry point of the steady-state fast path (see
+        :mod:`repro.sim.fastpath`); consume the verified prefix with
+        :meth:`advance`.
+        """
+        start = self.position
+        end = min(start + limit, self.length)
+        return self._vpns[start:end], self._writes[start:end]
+
+    def advance(self, count: int) -> None:
+        """Consume ``count`` accesses previously seen via peek_batch."""
+        position = self.position + count
+        if count < 0 or position > self.length:
+            raise IndexError("advance past the end of the stream")
+        self.position = position
+        # The scalar chunk is refilled lazily: next()/peek() reload it
+        # when the new position falls outside the materialized window.
+
 
 class TranslationStage:
     """Stage 1: stream cursors plus the TLB/walk translation path."""
@@ -158,12 +199,12 @@ class TranslationStage:
         """
         machine = self.machine
         pte, cycles, l2_missed = node.tlbs.lookup(vpn)
+        page = None
         if l2_missed:
             walk = node.walker.walk(vpn, now)
             cycles += walk
             machine.breakdown.charge(LatencyCategory.LOCAL, walk)
-            machine.counters.record_scheme_usage(
-                machine.central_pt.get(vpn).scheme
-            )
+            page = machine.central_pt.get(vpn)
+            machine.counters.record_scheme_usage(page.scheme)
             pte = node.page_table.lookup(vpn)
-        return AccessOutcome(vpn, is_write, cycles, pte, l2_missed)
+        return AccessOutcome(vpn, is_write, cycles, pte, l2_missed, page)

@@ -191,6 +191,24 @@ class TimingKernel:
             cycles += self.channels[gpu].reserve(now)
         return cycles
 
+    def local_access_bulk(self, gpu: int, count: int, now: int) -> int:
+        """Price ``count`` back-to-back local data accesses at once.
+
+        Flat-mode only: local accesses carry no cross-access state
+        there, so the bulk charge is exactly ``count`` scalar charges.
+        In queued mode each access is a timestamped DRAM-channel
+        reservation whose cost depends on its own arrival time, so
+        bulk pricing would reorder the queue — the steady-state fast
+        path is disabled under ``contention="queued"`` and this method
+        refuses to guess.
+        """
+        if self.queued:
+            raise ConfigError(
+                "local_access_bulk is flat-mode only; queued-mode "
+                "accesses must reserve their DRAM channel one at a time"
+            )
+        return count * self.costs.local_access
+
     def remote_access(
         self, gpu: int, owner: int, is_write: bool, now: int
     ) -> Tuple[int, int]:

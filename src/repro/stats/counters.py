@@ -39,6 +39,12 @@ class EventCounters:
         #: Duplicate (gpu, vpn) deposits coalesced away during batch
         #: drains; each saved a redundant fault resolution.
         self.coalesced_faults = 0
+        #: Steady-state runs priced by the vectorized fast path (see
+        #: repro.sim.fastpath); zero when the fast path is off.
+        self.fastpath_runs = 0
+        #: Accesses those runs covered.  ``accesses -
+        #: fastpath_accesses`` went through the scalar pipeline.
+        self.fastpath_accesses = 0
         #: Accesses that missed the L2 TLB, bucketed by the scheme the
         #: touched page was using at that moment (Figure 19).
         self.scheme_usage: Dict[Scheme, int] = {s: 0 for s in Scheme}
@@ -111,4 +117,6 @@ class EventCounters:
             "prefetches": self.prefetches,
             "fault_batches": self.fault_batches,
             "coalesced_faults": self.coalesced_faults,
+            "fastpath_runs": self.fastpath_runs,
+            "fastpath_accesses": self.fastpath_accesses,
         }

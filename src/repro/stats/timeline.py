@@ -54,6 +54,25 @@ class IntervalTimeline:
         if interval > self._max_interval:
             self._max_interval = interval
 
+    def record_bulk(
+        self, interval: int, gpu: int, vpn: int, is_write: bool, count: int
+    ) -> None:
+        """Tally ``count`` same-kind accesses into one cell at once.
+
+        Equivalent to ``count`` :meth:`record` calls that all land in
+        ``interval`` — the steady-state fast path pre-groups its run
+        by interval and page so the per-access dict probe disappears.
+        """
+        key = (interval, vpn)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = [0, 0] + [0] * self.num_gpus
+            self._cells[key] = cell
+        cell[1 if is_write else 0] += count
+        cell[2 + gpu] += count
+        if interval > self._max_interval:
+            self._max_interval = interval
+
     @property
     def num_intervals(self) -> int:
         """Intervals observed so far (highest seen + 1)."""

@@ -156,11 +156,24 @@ class UvmDriver:
     # ------------------------------------------------------------------
 
     def handle_local_fault(
-        self, gpu: int, vpn: int, is_write: bool, now: int = 0
+        self,
+        gpu: int,
+        vpn: int,
+        is_write: bool,
+        now: int = 0,
+        page: PageInfo | None = None,
     ) -> int:
-        """Resolve a local page fault; returns cycles the access stalls."""
+        """Resolve a local page fault; returns cycles the access stalls.
+
+        ``page`` lets the inline path reuse the central-page-table
+        entry the translation stage already fetched for the scheme
+        tally (pages are stable, in-place-mutated objects, so the
+        stage's entry is the driver's entry); without it the driver
+        consults the central table itself.
+        """
         m = self.machine
-        page = m.central_pt.get(vpn)
+        if page is None:
+            page = m.central_pt.get(vpn)
         if self.policy.mechanic_for(page) is Mechanic.IDEAL:
             return self.mechanics.execute(
                 Mechanic.IDEAL, gpu, page, is_write, now

@@ -29,6 +29,7 @@ from repro.constants import FaultKind
 from repro.uvm.faults import FaultBuffer, FaultEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memsys.page import PageInfo
     from repro.uvm.driver import UvmDriver
 
 
@@ -57,16 +58,26 @@ class FaultService:
         return self.buffers[gpu].full
 
     def submit(
-        self, gpu: int, vpn: int, is_write: bool, now: int
+        self,
+        gpu: int,
+        vpn: int,
+        is_write: bool,
+        now: int,
+        page: "PageInfo | None" = None,
     ) -> int | None:
         """Hand one local fault to the service.
 
         Returns the stall cycles when the fault was serviced inline
         (``batch_size == 1``); returns ``None`` when the fault was
-        parked in the GPU's buffer for a later drain.
+        parked in the GPU's buffer for a later drain.  ``page`` is the
+        central-page-table entry the translation stage already fetched
+        (inline path only — parked faults are resolved much later, by
+        which time the batch drain re-reads the table anyway).
         """
         if self.batch_size == 1:
-            return self.driver.handle_local_fault(gpu, vpn, is_write, now)
+            return self.driver.handle_local_fault(
+                gpu, vpn, is_write, now, page=page
+            )
         self.buffers[gpu].deposit(
             FaultEvent(FaultKind.LOCAL_PAGE_FAULT, gpu, vpn, is_write, now)
         )

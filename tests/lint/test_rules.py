@@ -269,6 +269,49 @@ class TestTimingKernelRoutingRule:
         assert lint(clean, relpath="policies/fixture.py") == []
 
 
+class TestCursorBatchApiRule:
+    def test_flags_direct_cursor_next_loops(self):
+        findings = lint(
+            """
+            def replay(self, gpu_id):
+                while not self.cursors[gpu_id].exhausted:
+                    vpn, is_write = self.cursors[gpu_id].next()
+            """,
+            relpath="sim/fixture.py",
+        )
+        assert ids(findings) == ["GRIT-C008"]
+        assert "batch API" in findings[0].message
+
+    def test_flags_bare_cursor_receiver(self):
+        findings = lint(
+            """
+            def drain(cursor):
+                return cursor.next()
+            """,
+            relpath="sim/fixture.py",
+        )
+        assert ids(findings) == ["GRIT-C008"]
+
+    def test_batch_api_and_other_nexts_are_clean(self):
+        clean = """
+        def replay(self, gpu_id, iterator):
+            vpns, writes = self.cursors[gpu_id].peek_batch(64)
+            self.cursors[gpu_id].advance(len(vpns))
+            return next(iterator), iterator.next()
+        """
+        assert lint(clean, relpath="sim/fixture.py") == []
+
+    def test_pipeline_and_out_of_scope_modules_are_exempt(self):
+        dirty = """
+        def next_access(self, cursor):
+            return cursor.next()
+        """
+        # pipeline.py owns the cursor; modules outside sim/ replay
+        # traces however they like (characterization, harness, ...).
+        assert lint(dirty, relpath="sim/pipeline.py") == []
+        assert lint(dirty, relpath="analysis/fixture.py") == []
+
+
 def _write_package(tmp_path, registry_body, docs=""):
     """Build a minimal fake package for the project-wide rules."""
     pkg = tmp_path / "pkg"

@@ -180,6 +180,7 @@ class TestSelection:
             "st-grit",
             "bfs-grit",
             "fir-grit-contended",
+            "fir-grit-fastpath",
         ]
 
     def test_unknown_case_rejected(self):

@@ -56,13 +56,33 @@ class TestDeterminism:
             make_policy("grit"),
         ).run()
         assert observed.total_cycles == bare.total_cycles
-        assert vars(observed.counters) == vars(bare.counters)
+        # fastpath_runs/fastpath_accesses are wall-clock diagnostics,
+        # not simulated behaviour: observation sampling boundaries cap
+        # the fast path's batch horizons, so the same accesses group
+        # into different run counts with observability on.
+        observed_counters = {
+            k: v
+            for k, v in vars(observed.counters).items()
+            if not k.startswith("fastpath")
+        }
+        bare_counters = {
+            k: v
+            for k, v in vars(bare.counters).items()
+            if not k.startswith("fastpath")
+        }
+        assert observed_counters == bare_counters
+        skipped = ("dropped_events", "fastpath_runs", "fastpath_accesses")
         observed_summary = {
             k: v
             for k, v in observed.summary().items()
-            if k != "dropped_events"
+            if k not in skipped
         }
-        assert observed_summary == bare.summary()
+        bare_summary = {
+            k: v
+            for k, v in bare.summary().items()
+            if k not in skipped
+        }
+        assert observed_summary == bare_summary
 
 
 class TestTraceOutput:

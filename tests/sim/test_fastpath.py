@@ -1,0 +1,309 @@
+"""The steady-state fast path and the hot-loop scheduling fixes.
+
+Three contracts live here:
+
+* **interval realignment** — a clock jump past several policy
+  boundaries fires ``on_interval`` once and the next boundary is the
+  first one after ``now`` (the old ``next_interval += interval``
+  stepped one boundary per loop iteration, so a jump produced a burst
+  of catch-up ticks inside the same interval window);
+* **heap scheduling** — the ``(clock, gpu_id)`` heap must preserve the
+  old min-scan's order exactly: lowest clock first, ties broken by
+  lowest GPU id, deterministically;
+* **fast-path equivalence** — simulated results are bit-for-bit
+  identical with the fast path on or off (only the wall-clock-domain
+  ``fastpath_*`` diagnostics differ), and on a steady-heavy workload
+  the fast path is measurably faster.
+"""
+
+import json
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+from repro.policies import make_policy
+from repro.policies.on_touch import OnTouchPolicy
+from repro.sim.engine import Engine, simulate
+from repro.sim.fastpath import FAST_PATH_ENV_VAR, FastPath
+from repro.stats.events import EventLog
+from repro.stats.timeline import IntervalTimeline
+from repro.workloads.base import WorkloadTrace
+from repro.workloads.registry import make_workload
+
+
+class TickRecordingPolicy(OnTouchPolicy):
+    """On-touch with a short interval hook that records its ticks."""
+
+    def __init__(self, interval_cycles: int) -> None:
+        super().__init__()
+        self.interval_cycles = interval_cycles
+        self.ticks = []
+
+    def on_interval(self, now: int) -> None:
+        self.ticks.append(now)
+
+
+class TestIntervalRealignment:
+    """Boundary catch-up: skipped intervals coalesce into one tick."""
+
+    INTERVAL = 1_000
+
+    def _ticks(self):
+        policy = TickRecordingPolicy(self.INTERVAL)
+        trace = make_workload("bfs", num_gpus=2, scale=0.05)
+        simulate(SystemConfig(num_gpus=2), trace, policy)
+        return policy.ticks
+
+    def test_each_tick_lands_in_a_later_window(self):
+        # The regression: with `next_interval += interval`, a fault
+        # that jumps the clock past k boundaries leaves next_interval
+        # k intervals behind `now`, so the k following accesses each
+        # fire a catch-up tick inside the *same* interval window.
+        # Realignment guarantees consecutive ticks occupy strictly
+        # increasing windows.
+        ticks = self._ticks()
+        assert len(ticks) >= 2, "workload too small to cross intervals"
+        windows = [now // self.INTERVAL for now in ticks]
+        assert windows == sorted(set(windows)), (
+            "policy interval ticks piled up inside one interval "
+            "window — next_interval drifted instead of realigning"
+        )
+
+    def test_clock_jumps_actually_skip_windows(self):
+        # Sanity that the scenario exercises coalescing at all: fault
+        # service must jump the clock past more than one boundary
+        # somewhere, or the previous test proves nothing.
+        windows = [now // self.INTERVAL for now in self._ticks()]
+        gaps = [b - a for a, b in zip(windows, windows[1:])]
+        assert any(gap > 1 for gap in gaps)
+
+
+class _VisitRecorder:
+    """Timeline stand-in capturing the engine's (now, gpu) visit order."""
+
+    def __init__(self) -> None:
+        self.visits = []
+
+    def record(self, now, gpu_id, base_vpn, is_write) -> None:
+        self.visits.append((now, gpu_id))
+
+
+class TestHeapScheduling:
+    """The heap replays the min-scan's lowest-clock / lowest-id order."""
+
+    def test_visit_order_is_lowest_clock_then_lowest_id(self):
+        recorder = _VisitRecorder()
+        trace = make_workload("st", num_gpus=4, scale=0.05)
+        simulate(
+            SystemConfig(num_gpus=4, fast_path=False),
+            trace,
+            make_policy("grit"),
+            timeline=recorder,
+        )
+        visits = recorder.visits
+        assert len(visits) == trace.total_accesses
+        # All four GPUs start at clock 0; ties break by id.
+        assert [gpu for _, gpu in visits[:4]] == [0, 1, 2, 3]
+        for (t1, g1), (t2, g2) in zip(visits, visits[1:]):
+            # The engine always advances the furthest-behind GPU and
+            # clocks only grow, so visit times are non-decreasing; a
+            # GPU's clock strictly grows per access, so equal-time
+            # runs must walk GPU ids strictly upward.
+            assert t2 >= t1
+            if t2 == t1:
+                assert g2 > g1
+
+    def test_scheduling_is_deterministic(self):
+        def run():
+            trace = make_workload("sc", num_gpus=4, scale=0.05)
+            result = simulate(
+                SystemConfig(num_gpus=4, fault_batch_size=8),
+                trace,
+                make_policy("grit"),
+            )
+            return {
+                "total_cycles": result.total_cycles,
+                "per_gpu_cycles": result.per_gpu_cycles,
+                "counters": result.counters.as_dict(),
+            }
+
+        first, second = run(), run()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+
+def _random_trace(seed: int, num_gpus: int) -> WorkloadTrace:
+    """A seeded mix of steady sweeps, hot-page bursts, and jumps."""
+    rng = random.Random(seed)
+    footprint = 160
+    streams = []
+    for gpu in range(num_gpus):
+        vpns, writes = [], []
+        page = rng.randrange(footprint)
+        for _ in range(rng.randint(300, 500)):
+            kind = rng.random()
+            if kind < 0.6:
+                # Sequential sweep: the steady-state shape.
+                for _ in range(rng.randint(4, 24)):
+                    vpns.append(page)
+                    writes.append(rng.random() < 0.3)
+                page = (page + 1) % footprint
+            elif kind < 0.9:
+                # Hot-page burst on a shared page (cross-GPU traffic).
+                hot = rng.randrange(8)
+                for _ in range(rng.randint(1, 6)):
+                    vpns.append(hot)
+                    writes.append(rng.random() < 0.5)
+            else:
+                # Random jump.
+                page = rng.randrange(footprint)
+        streams.append(
+            (
+                np.array(vpns, dtype=np.int64),
+                np.array(writes, dtype=bool),
+            )
+        )
+    return WorkloadTrace(
+        name=f"random-{seed}",
+        num_gpus=num_gpus,
+        footprint_pages=footprint,
+        streams=streams,
+    )
+
+
+def _flatten(result, timeline, event_log):
+    counters = {
+        key: value
+        for key, value in result.counters.as_dict().items()
+        # fastpath_runs / fastpath_accesses are wall-clock-domain
+        # diagnostics of how the result was *computed*, not simulated
+        # behaviour; everything else must match exactly.
+        if not key.startswith("fastpath")
+    }
+    return {
+        "total_cycles": result.total_cycles,
+        "per_gpu_cycles": result.per_gpu_cycles,
+        "counters": counters,
+        "breakdown": result.breakdown.as_dict(),
+        "details": result.details,
+        "timeline": timeline._cells,
+        "events": list(event_log._events),
+    }
+
+
+class TestFastPathEquivalence:
+    """Property-style: fast on == fast off, bit for bit."""
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    @pytest.mark.parametrize("num_gpus", [2, 4])
+    @pytest.mark.parametrize("policy", ["on_touch", "grit"])
+    @pytest.mark.parametrize("batch", [1, 8])
+    def test_random_traces_match_bit_for_bit(
+        self, seed, num_gpus, policy, batch
+    ):
+        outputs = []
+        for fast in (True, False):
+            trace = _random_trace(seed, num_gpus)
+            timeline = IntervalTimeline(
+                num_gpus=num_gpus, interval_length=10_000
+            )
+            event_log = EventLog()
+            result = simulate(
+                SystemConfig(
+                    num_gpus=num_gpus,
+                    fault_batch_size=batch,
+                    fast_path=fast,
+                ),
+                trace,
+                make_policy(policy),
+                timeline=timeline,
+                event_log=event_log,
+            )
+            if fast:
+                assert result.counters.fastpath_accesses > 0, (
+                    "trace generator produced no steady runs — the "
+                    "equivalence check is vacuous"
+                )
+            outputs.append(_flatten(result, timeline, event_log))
+        assert outputs[0] == outputs[1]
+
+    def test_env_var_overrides_config(self, monkeypatch):
+        trace = _random_trace(7, 2)
+        monkeypatch.setenv(FAST_PATH_ENV_VAR, "0")
+        off = simulate(
+            SystemConfig(num_gpus=2, fast_path=True),
+            _random_trace(7, 2),
+            make_policy("on_touch"),
+        )
+        assert off.counters.fastpath_runs == 0
+        monkeypatch.setenv(FAST_PATH_ENV_VAR, "1")
+        on = simulate(
+            SystemConfig(num_gpus=2, fast_path=False),
+            trace,
+            make_policy("on_touch"),
+        )
+        assert on.counters.fastpath_runs > 0
+        monkeypatch.setenv(FAST_PATH_ENV_VAR, "maybe")
+        with pytest.raises(ConfigError):
+            simulate(
+                SystemConfig(num_gpus=2),
+                _random_trace(7, 2),
+                make_policy("on_touch"),
+            )
+
+    def test_queued_contention_disables_the_fast_path(self):
+        trace = _random_trace(3, 2)
+        engine = Engine(
+            SystemConfig(num_gpus=2, contention="queued"),
+            trace,
+            make_policy("on_touch"),
+        )
+        assert engine.fastpath is None
+        with pytest.raises(ConfigError):
+            FastPath(engine)
+        result = engine.run()
+        assert result.counters.fastpath_runs == 0
+
+
+class TestFastPathSpeedup:
+    """The fast path must actually be fast where it applies."""
+
+    def test_steady_state_replay_is_at_least_twice_as_fast(self):
+        # 64 KiB pages fold fir's sweeps into long single-page runs,
+        # which is the regime the fast path exists for; measured
+        # headroom here is ~3.5x, so the 2x gate has a wide margin
+        # against machine noise.  min-of-N rejects scheduler jitter.
+        trace = make_workload("fir", num_gpus=4, scale=0.4)
+        policy_name, repeats = "grit", 5
+        timings = {}
+        counters = {}
+        for fast in (True, False):
+            config = SystemConfig(
+                num_gpus=4, page_size=65536, fast_path=fast
+            )
+            best = float("inf")
+            for _ in range(repeats):
+                engine = Engine(
+                    config, trace, make_policy(policy_name)
+                )
+                start = time.perf_counter()
+                result = engine.run()
+                best = min(best, time.perf_counter() - start)
+            timings[fast] = best
+            counters[fast] = {
+                key: value
+                for key, value in result.counters.as_dict().items()
+                if not key.startswith("fastpath")
+            }
+            counters[fast]["total_cycles"] = result.total_cycles
+        assert counters[True] == counters[False]
+        ratio = timings[False] / timings[True]
+        assert ratio >= 2.0, (
+            f"fast path replay only {ratio:.2f}x faster "
+            f"({timings[False]*1e3:.1f}ms -> {timings[True]*1e3:.1f}ms)"
+        )
