@@ -64,6 +64,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "channel occupancy (GRIT_CONTENTION overrides)",
     )
     run.add_argument(
+        "--topology",
+        default="all-to-all",
+        metavar="SPEC",
+        help="interconnect fabric shape: all-to-all (default), "
+        "nvswitch[:group_size], ring, or multi-node[:nodes] "
+        "(GRIT_TOPOLOGY overrides)",
+    )
+    run.add_argument(
         "--fault-batch",
         type=int,
         default=1,
@@ -502,6 +510,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         page_size=args.page_size,
         fault_batch_size=args.fault_batch,
         contention=args.contention,
+        topology=args.topology,
         fast_path=not args.no_fast_path,
     )
     if args.trace or args.metrics:

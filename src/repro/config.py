@@ -269,6 +269,13 @@ class SystemConfig:
     #: ``GRIT_CONTENTION=queued`` environment variable overrides it
     #: globally.
     contention: str = "none"
+    #: Interconnect fabric shape (see repro.interconnect.routing).
+    #: ``"all-to-all"`` is the paper's 4-GPU DGX-style mesh (bit-for-
+    #: bit the classic simulator); ``"nvswitch[:group_size]"``,
+    #: ``"ring"``, and ``"multi-node[:nodes]"`` are scale-out shapes
+    #: where GPU pairs route over multiple contended hops.  The
+    #: ``GRIT_TOPOLOGY`` environment variable overrides it globally.
+    topology: str = "all-to-all"
     #: Vectorized steady-state fast path of the engine (see
     #: repro.sim.fastpath).  When on, runs of accesses that all hit
     #: already-resident, already-translated local pages are priced in
@@ -301,6 +308,11 @@ class SystemConfig:
                 f"contention must be 'none' or 'queued', "
                 f"got {self.contention!r}"
             )
+        # Deferred import: the interconnect package imports this
+        # module at load time.
+        from repro.interconnect.routing import TopologySpec
+
+        TopologySpec.parse(self.topology, self.num_gpus)
 
     @property
     def pages_per_counter_group(self) -> int:

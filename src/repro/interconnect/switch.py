@@ -1,0 +1,71 @@
+"""NVSwitch-style switching elements for hierarchical fabrics.
+
+An :class:`NVSwitch` is a crossbar whose GPU-facing ports and
+switch-to-switch trunks are ordinary contended
+:class:`~repro.interconnect.link.Link` resources.  A payload crossing
+the switch pays each port's latency + serialization, so a switched hop
+is strictly more expensive than a direct NVLink — which is exactly the
+scale-out trade the topology sweep measures.  In ``queued`` contention
+mode every port reservation advances that port's ``busy_until``
+horizon, so two GPUs bursting into the same destination port queue
+behind each other (the ``interconnect.switch.*`` metrics report that
+pressure).
+
+Trunk links connect switch pairs; each trunk is registered with
+exactly one of its two endpoint switches so topology-wide rollups
+never double-count it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.interconnect.link import Link
+
+
+class NVSwitch:
+    """One switch plane: GPU ports plus trunks toward peer switches."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: GPU id -> the port link that GPU attaches with.
+        self.ports: Dict[int, Link] = {}
+        #: Trunks owned by this switch (registered once per pair).
+        self.trunks: List[Link] = []
+
+    def add_port(self, gpu: int, link: Link) -> None:
+        """Attach ``gpu`` to this switch through ``link``."""
+        if gpu in self.ports:
+            raise ValueError(
+                f"{self.name}: GPU {gpu} already has a port"
+            )
+        self.ports[gpu] = link
+
+    def add_trunk(self, link: Link) -> None:
+        """Register a switch-to-switch trunk owned by this switch."""
+        self.trunks.append(link)
+
+    def port(self, gpu: int) -> Link:
+        """The port link GPU ``gpu`` attaches with."""
+        return self.ports[gpu]
+
+    def links(self) -> List[Link]:
+        """Every link of this switch: ports in GPU order, then trunks."""
+        ports = [self.ports[gpu] for gpu in sorted(self.ports)]
+        return [*ports, *self.trunks]
+
+    # -- occupancy rollups ---------------------------------------------
+
+    def wait_cycles(self) -> int:
+        """Cycles reservations queued on this switch's ports/trunks."""
+        return sum(link.wait_cycles for link in self.links())
+
+    def messages(self) -> int:
+        """Transfers + control messages carried through this switch."""
+        return sum(link.messages for link in self.links())
+
+    def peak_occupancy(self) -> int:
+        """Largest backlog any port/trunk reservation observed."""
+        return max(
+            (link.peak_occupancy for link in self.links()), default=0
+        )

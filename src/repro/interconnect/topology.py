@@ -1,91 +1,142 @@
-"""System topology: all-to-all NVLink between GPUs, PCIe to the host.
+"""System topology: a routed fabric between GPUs and the host.
 
-DGX-style systems connect every GPU pair with NVLink and each GPU to the
-CPU over PCIe (Figure 2).  We model one logical NVLink per direction
-pair and one PCIe link per GPU; the engine asks the topology for
-transfer costs and the topology routes to the right link.
+The default shape reproduces Figure 2's DGX-style box — every GPU pair
+connected with NVLink, each GPU on PCIe to the CPU behind one shared
+root port — and stays bit-for-bit identical to the pre-routing
+simulator.  Scale-out shapes (``nvswitch`` switch groups, ``ring``,
+host-bridged ``multi-node``) come from a
+:class:`~repro.interconnect.routing.TopologySpec`: every node pair
+resolves to a precomputed multi-hop :class:`~repro.interconnect.
+routing.Route` and the timing kernel charges (and, in queued mode,
+reserves) each hop along it.
 """
 
 from __future__ import annotations
 
+from typing import Dict, ItemsView, List, Tuple
+
 from repro.config import LatencyModel
-from repro.constants import HOST_NODE
 from repro.errors import ConfigError
 from repro.interconnect.link import Link
+from repro.interconnect.routing import Route, TopologySpec, build_fabric
+from repro.interconnect.switch import NVSwitch
 
 
 class Topology:
-    """All-to-all GPU fabric plus per-GPU host links."""
+    """A routed GPU fabric plus per-GPU host links."""
 
-    def __init__(self, num_gpus: int, latency: LatencyModel) -> None:
+    def __init__(
+        self,
+        num_gpus: int,
+        latency: LatencyModel,
+        spec: TopologySpec | None = None,
+    ) -> None:
         if num_gpus < 1:
             raise ConfigError("topology needs at least one GPU")
         self.num_gpus = num_gpus
-        self._nvlinks: dict[tuple[int, int], Link] = {}
-        for a in range(num_gpus):
-            for b in range(a + 1, num_gpus):
-                self._nvlinks[(a, b)] = Link(
-                    name=f"nvlink-{a}-{b}",
-                    latency=latency.nvlink_latency,
-                    bytes_per_cycle=latency.nvlink_bytes_per_cycle,
-                )
-        self._pcie: list[Link] = [
-            Link(
-                name=f"pcie-{g}",
-                latency=latency.pcie_latency,
-                bytes_per_cycle=latency.pcie_bytes_per_cycle,
-            )
-            for g in range(num_gpus)
-        ]
-        #: Shared host root port: every host-bound payload crosses it in
-        #: addition to its per-GPU PCIe link.  Per-GPU links serialize
-        #: one GPU's own traffic; the uplink is where *different* GPUs'
-        #: host transfers collide (contended "queued" mode only — the
-        #: flat mode never reserves it).
-        self.host_uplink = Link(
-            name="pcie-host",
-            latency=latency.pcie_latency,
-            bytes_per_cycle=latency.pcie_bytes_per_cycle,
-        )
+        self.spec = spec if spec is not None else TopologySpec()
+        fabric = build_fabric(self.spec, num_gpus, latency)
+        self._nvlinks: Dict[Tuple[int, int], Link] = fabric.nvlinks
+        self._pcie: List[Link] = fabric.pcie
+        self._host_uplinks: List[Link] = fabric.host_uplinks
+        self.switches: List[NVSwitch] = fabric.switches
+        self._bridges: List[Link] = fabric.bridges
+        self._node_of: List[int] = fabric.node_of
+        self._routes: Dict[Tuple[int, int], Route] = fabric.routes
 
-    def _nvlink(self, src: int, dst: int) -> Link:
-        key = (src, dst) if src < dst else (dst, src)
+    @property
+    def host_uplink(self) -> Link:
+        """The first host root port (the only one on single-host specs).
+
+        Kept for the classic all-to-all surface; route-aware code
+        should use ``route(...).shared`` so multi-node traffic charges
+        the right node's port.
+        """
+        return self._host_uplinks[0]
+
+    # -- routing -------------------------------------------------------
+
+    def route(self, src: int, dst: int) -> Route:
+        """The route between two nodes (HOST_NODE for the CPU)."""
+        if src == dst:
+            raise ConfigError("no route from a node to itself")
         try:
-            return self._nvlinks[key]
+            return self._routes[(src, dst)]
         except KeyError:
             raise ConfigError(
-                f"no NVLink between GPU {src} and GPU {dst}"
+                f"no route between node {src} and node {dst}"
             ) from None
 
+    def route_items(self) -> ItemsView[Tuple[int, int], Route]:
+        """Every ``(src, dst) -> route`` entry of the fabric."""
+        return self._routes.items()
+
     def link_between(self, src: int, dst: int) -> Link:
-        """Resolve the link between two nodes (HOST_NODE for the CPU)."""
-        if src == dst:
-            raise ConfigError("no link from a node to itself")
-        if src == HOST_NODE:
-            return self._pcie[dst]
-        if dst == HOST_NODE:
-            return self._pcie[src]
-        return self._nvlink(src, dst)
+        """Resolve a *direct* link between two nodes.
+
+        Classic single-hop surface: the GPU pair's NVLink on direct
+        fabrics, the GPU's own PCIe link toward the host.  Multi-hop
+        pairs (switched, ring-distant, cross-node) have no direct link
+        — use :meth:`route`.
+        """
+        route = self.route(src, dst)
+        if route.hop_count != 1:
+            raise ConfigError(
+                f"no direct link between node {src} and node {dst} "
+                f"on topology {self.spec.describe()!r}; the route "
+                f"has {route.hop_count} hops"
+            )
+        return route.hops[0]
 
     def transfer(self, src: int, dst: int, size_bytes: int) -> int:
-        """Cycles to move a payload between two nodes."""
-        return self.link_between(src, dst).transfer_cycles(size_bytes)
+        """Cycles to move a payload between two nodes (flat, accounted)."""
+        return sum(
+            hop.transfer_cycles(size_bytes)
+            for hop in self.route(src, dst).hops
+        )
 
     def control_message(self, src: int, dst: int) -> int:
         """Cycles for a payload-free message (fault, invalidation, ack)."""
-        return self.link_between(src, dst).message_cycles()
+        return sum(
+            hop.message_cycles() for hop in self.route(src, dst).hops
+        )
 
-    def links(self) -> list[Link]:
-        """Every link of the fabric (NVLinks, per-GPU PCIe, uplink)."""
-        return [*self._nvlinks.values(), *self._pcie, self.host_uplink]
+    # -- link inventory ------------------------------------------------
+
+    def links(self) -> List[Link]:
+        """Every link of the fabric (GPU fabric, PCIe, bridges, roots)."""
+        return [
+            *self._gpu_fabric_links(),
+            *self._pcie,
+            *self._bridges,
+            *self._host_uplinks,
+        ]
+
+    def _gpu_fabric_links(self) -> List[Link]:
+        """Direct GPU-GPU links plus every switch port and trunk."""
+        return [*self._nvlinks.values(), *self.switch_links()]
+
+    def switch_links(self) -> List[Link]:
+        """Every switch port and trunk (empty on switchless fabrics)."""
+        links: List[Link] = []
+        for switch in self.switches:
+            links.extend(switch.links())
+        return links
+
+    # -- traffic rollups -----------------------------------------------
 
     def total_nvlink_bytes(self) -> int:
-        """Total GPU-to-GPU traffic moved so far."""
-        return sum(link.bytes_transferred for link in self._nvlinks.values())
+        """GPU-fabric traffic moved so far (multi-hop counts per hop)."""
+        return sum(
+            link.bytes_transferred for link in self._gpu_fabric_links()
+        )
 
     def total_pcie_bytes(self) -> int:
-        """Total host-GPU traffic moved so far."""
-        return sum(link.bytes_transferred for link in self._pcie)
+        """Host-GPU traffic moved so far (bridge hops included)."""
+        return sum(
+            link.bytes_transferred
+            for link in [*self._pcie, *self._bridges]
+        )
 
     def total_messages(self) -> int:
         """Total messages (control + transfers) across every link."""
@@ -99,4 +150,21 @@ class Topology:
         """Largest backlog any link reservation observed on arrival."""
         return max(
             (link.peak_occupancy for link in self.links()), default=0
+        )
+
+    # -- switch rollups (the ``interconnect.switch.*`` series) ---------
+
+    def switch_wait_cycles(self) -> int:
+        """Cycles reservations queued on switch ports and trunks."""
+        return sum(switch.wait_cycles() for switch in self.switches)
+
+    def switch_messages(self) -> int:
+        """Transfers + control messages carried through any switch."""
+        return sum(switch.messages() for switch in self.switches)
+
+    def switch_peak_occupancy(self) -> int:
+        """Largest backlog any switch port/trunk reservation observed."""
+        return max(
+            (switch.peak_occupancy() for switch in self.switches),
+            default=0,
         )

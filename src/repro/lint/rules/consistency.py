@@ -281,6 +281,8 @@ _KERNEL_MODULES = frozenset({
     "sim/timing.py",
     "interconnect/link.py",
     "interconnect/topology.py",
+    "interconnect/routing.py",
+    "interconnect/switch.py",
     "memsys/dram.py",
     "config.py",
     "core/initiator.py",

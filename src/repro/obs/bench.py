@@ -90,6 +90,9 @@ class BenchCase:
     #: Allocation granularity in bytes (larger pages fold more base
     #: pages together and lengthen steady-state runs).
     page_size: int = 4096
+    #: Interconnect fabric shape the case runs on (see
+    #: repro.interconnect.routing).
+    topology: str = "all-to-all"
     #: Whether the vectorized steady-state fast path is enabled (see
     #: repro.sim.fastpath); counters are identical either way, only
     #: wall time differs.
@@ -114,6 +117,12 @@ DEFAULT_CASES: Tuple[BenchCase, ...] = (
     BenchCase(
         "fir-grit-fastpath", "fir", "grit",
         num_gpus=4, page_size=65536,
+    ),
+    # The scale-out shape: 8 GPUs behind switch groups, queued
+    # contention so switch-port occupancy actually prices time.
+    BenchCase(
+        "fir-grit-8gpu-nvswitch", "fir", "grit",
+        num_gpus=8, contention="queued", topology="nvswitch",
     ),
 )
 
@@ -169,6 +178,7 @@ class BenchResult:
             "num_gpus": self.case.num_gpus,
             "contention": self.case.contention,
             "page_size": self.case.page_size,
+            "topology": self.case.topology,
             "fast_path": self.case.fast_path,
             "scale": self.scale,
             "repeats": self.repeats,
@@ -221,6 +231,7 @@ def run_case(
             scale=scale,
             page_size=case.page_size,
             contention=case.contention,
+            topology=case.topology,
             fast_path=case.fast_path,
         )
         if registry is not None:
@@ -342,12 +353,14 @@ def compare_case(
     name = current.case.name
     findings: List[Regression] = []
     for field in ("workload", "policy", "num_gpus", "contention",
-                  "page_size", "fast_path", "scale"):
+                  "page_size", "topology", "fast_path", "scale"):
         # Older baselines predate some fields; each absent field
         # defaults to the value every baseline was measured with at
-        # the time (flat contention, 4 KiB pages, fast path on).
+        # the time (flat contention, 4 KiB pages, all-to-all fabric,
+        # fast path on).
         defaults = {
-            "contention": "none", "page_size": 4096, "fast_path": True,
+            "contention": "none", "page_size": 4096,
+            "topology": "all-to-all", "fast_path": True,
         }
         recorded = baseline.get(field, defaults.get(field))
         measured = getattr(

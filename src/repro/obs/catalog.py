@@ -33,6 +33,8 @@ GRIT_SCHEME_CHANGES = "grit.scheme_changes.total"
 LINK_WAIT_CYCLES = "interconnect.link.wait_cycles.total"
 LINK_BYTES = "interconnect.link.bytes.total"
 LINK_MESSAGES = "interconnect.link.messages.total"
+SWITCH_WAIT_CYCLES = "interconnect.switch.wait_cycles.total"
+SWITCH_MESSAGES = "interconnect.switch.messages.total"
 DRAM_WAIT_CYCLES = "memsys.dram.wait_cycles.total"
 DRAM_ACCESSES = "memsys.dram.accesses.total"
 
@@ -46,6 +48,7 @@ GRIT_PAGES_ON_TOUCH = "grit.pages.on_touch"
 GRIT_PAGES_ACCESS_COUNTER = "grit.pages.access_counter"
 GRIT_PAGES_DUPLICATION = "grit.pages.duplication"
 LINK_PEAK_OCCUPANCY = "interconnect.link.peak_occupancy"
+SWITCH_PEAK_OCCUPANCY = "interconnect.switch.peak_occupancy"
 DRAM_PEAK_OCCUPANCY = "memsys.dram.peak_occupancy"
 
 # -- histograms (per-operation cost distributions) ---------------------
@@ -141,12 +144,19 @@ METRICS: Tuple[MetricSpec, ...] = (
              "(NVLink + PCIe page traffic)", "bytes"),
     _counter(LINK_MESSAGES, "transfers plus control messages carried "
              "by every link", "messages"),
+    _counter(SWITCH_WAIT_CYCLES, "cycles charges spent queued on a "
+             "switch port or trunk (switched topologies under "
+             "contention=queued)", "cycles"),
+    _counter(SWITCH_MESSAGES, "transfers plus control messages routed "
+             "through any switch port or trunk", "messages"),
     _counter(DRAM_WAIT_CYCLES, "cycles data accesses spent queued on "
              "a busy DRAM channel (contention=queued only)", "cycles"),
     _counter(DRAM_ACCESSES, "data accesses that reserved a DRAM "
              "channel (contention=queued only)", "accesses"),
     _gauge(LINK_PEAK_OCCUPANCY, "largest backlog any link reservation "
            "observed on arrival", "cycles"),
+    _gauge(SWITCH_PEAK_OCCUPANCY, "largest backlog any switch port or "
+           "trunk reservation observed on arrival", "cycles"),
     _gauge(DRAM_PEAK_OCCUPANCY, "largest backlog any DRAM access "
            "observed on arrival", "cycles"),
     _histogram(UVM_FAULT_SERVICE_CYCLES, "stall cycles charged per "

@@ -114,6 +114,7 @@ def profile_run(
     scale: float = 0.3,
     page_size: int = 4096,
     contention: str = "none",
+    topology: str = "all-to-all",
     fast_path: bool = True,
 ) -> ProfiledRun:
     """Run one (workload, policy) pair with wall-time phase timing.
@@ -135,6 +136,7 @@ def profile_run(
         num_gpus=num_gpus,
         page_size=page_size,
         contention=contention,
+        topology=topology,
         fast_path=fast_path,
     )
     with profiler.phase("generate-trace"):

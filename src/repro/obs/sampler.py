@@ -140,6 +140,18 @@ class MetricsSampler:
         registry.set_total(
             catalog.LINK_MESSAGES, topology.total_messages()
         )
+        # Switch-port pressure: identically zero on switchless fabrics
+        # (all-to-all, ring, multi-node), live on nvswitch shapes.
+        registry.set_total(
+            catalog.SWITCH_WAIT_CYCLES, topology.switch_wait_cycles()
+        )
+        registry.set_total(
+            catalog.SWITCH_MESSAGES, topology.switch_messages()
+        )
+        registry.set_gauge(
+            catalog.SWITCH_PEAK_OCCUPANCY,
+            topology.switch_peak_occupancy(),
+        )
         registry.set_total(
             catalog.DRAM_WAIT_CYCLES, kernel.dram_wait_cycles()
         )

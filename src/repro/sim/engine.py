@@ -346,7 +346,9 @@ class Engine:
             "nvlink_bytes": machine.topology.total_nvlink_bytes(),
             "pcie_bytes": machine.topology.total_pcie_bytes(),
             "contention": machine.kernel.mode,
+            "topology": machine.topology.spec.describe(),
             "link_wait_cycles": machine.topology.total_wait_cycles(),
+            "switch_wait_cycles": machine.topology.switch_wait_cycles(),
             "dram_wait_cycles": machine.kernel.dram_wait_cycles(),
             "policy_description": self.policy.describe(),
             "l1_tlb_hit_rate": (

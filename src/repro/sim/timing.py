@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 from repro.constants import HOST_NODE
 from repro.errors import ConfigError
@@ -150,37 +150,74 @@ class TimingKernel:
             for g in range(config.num_gpus)
         ]
         self.host_channel = DramChannel("dram-host", service)
+        # Per-route flat-mode surcharges, precomputed once: a route's
+        # first hop is already priced into the classic constants
+        # (remote_dram_access includes the NVLink handshake), so only
+        # hops *beyond* the first add cost.  Single-hop fabrics — the
+        # 4-GPU all-to-all default — therefore charge exactly the
+        # classic formulas, bit for bit.
+        far_mlp = self.latency.far_access_mlp
+        self._route_hops: dict = {}
+        self._far_access_extra: dict = {}
+        self._message_extra: dict = {}
+        for key, route in topology.route_items():
+            extra_hops = route.hops[1:]
+            self._route_hops[key] = route.hop_count
+            self._far_access_extra[key] = sum(
+                max(1, hop.latency // far_mlp) for hop in extra_hops
+            )
+            self._message_extra[key] = sum(
+                hop.latency for hop in extra_hops
+            )
 
     # -- payload movement ----------------------------------------------
 
     def transfer(self, src: int, dst: int, size_bytes: int, now: int) -> int:
         """Move a payload between two nodes at cycle ``now``."""
-        link = self.topology.link_between(src, dst)
+        route = self.topology.route(src, dst)
         if self.queued:
+            # Shared root-port-style resources first (the payload
+            # crosses them without paying latency twice), then each
+            # wire hop in order, store-and-forward.
             wait = 0
-            if src == HOST_NODE or dst == HOST_NODE:
-                # Host payloads also cross the shared root port, where
-                # concurrent traffic from different GPUs queues.
-                wait = self.topology.host_uplink.reserve_access(
-                    now, size_bytes
-                )
-            return wait + link.reserve_transfer(now + wait, size_bytes)
-        link.record_transfer(size_bytes)
-        return link.transfer_cost(size_bytes)
+            for shared in route.shared:
+                wait += shared.reserve_access(now + wait, size_bytes)
+            total = wait
+            arrive = now + wait
+            for hop in route.hops:
+                cycles = hop.reserve_transfer(arrive, size_bytes)
+                total += cycles
+                arrive += cycles
+            return total
+        total = 0
+        for hop in route.hops:
+            hop.record_transfer(size_bytes)
+            total += hop.transfer_cost(size_bytes)
+        return total
 
     def transfer_cost(self, src: int, dst: int, size_bytes: int) -> int:
         """Pure what-if transfer cost: no accounting, no reservation."""
-        return self.topology.link_between(src, dst).transfer_cost(
-            size_bytes
+        return sum(
+            hop.transfer_cost(size_bytes)
+            for hop in self.topology.route(src, dst).hops
         )
 
     def control_message(self, src: int, dst: int, now: int) -> int:
         """Deliver a payload-free message (fault, invalidation, ack)."""
-        link = self.topology.link_between(src, dst)
+        route = self.topology.route(src, dst)
         if self.queued:
-            return link.reserve_message(now)
-        link.record_message()
-        return link.message_cost()
+            total = 0
+            arrive = now
+            for hop in route.hops:
+                cycles = hop.reserve_message(arrive)
+                total += cycles
+                arrive += cycles
+            return total
+        total = 0
+        for hop in route.hops:
+            hop.record_message()
+            total += hop.message_cost()
+        return total
 
     # -- data accesses -------------------------------------------------
 
@@ -218,11 +255,11 @@ class TimingKernel:
         remote-access share of it (what the Figure 19 breakdown
         attributes to remoteness).
         """
-        cycles = self.costs.remote_access[is_write]
-        penalty = self.costs.remote_penalty[is_write]
+        extra = self._far_access_extra[(gpu, owner)]
+        cycles = self.costs.remote_access[is_write] + extra
+        penalty = self.costs.remote_penalty[is_write] + extra
         if self.queued:
-            link = self.topology.link_between(gpu, owner)
-            wait = link.reserve_access(now, CACHE_LINE_BYTES)
+            wait = self._reserve_route_access(gpu, owner, now)
             wait += self.channels[owner].reserve(now + wait)
             cycles += wait
             penalty += wait
@@ -238,15 +275,27 @@ class TimingKernel:
         cycles = self.costs.host_access[is_write]
         penalty = self.costs.host_penalty[is_write]
         if self.queued:
-            link = self.topology.link_between(gpu, HOST_NODE)
-            wait = link.reserve_access(now, CACHE_LINE_BYTES)
-            wait += self.topology.host_uplink.reserve_access(
-                now + wait, CACHE_LINE_BYTES
-            )
+            wait = self._reserve_route_access(gpu, HOST_NODE, now)
             wait += self.host_channel.reserve(now + wait)
             cycles += wait
             penalty += wait
         return cycles, penalty
+
+    def _reserve_route_access(self, src: int, dst: int, now: int) -> int:
+        """Reserve one cache-line access along a route (queued mode).
+
+        Accesses ascend toward their target, so wire hops reserve
+        first and shared root-port resources after — the order the
+        classic host-access path used (per-GPU PCIe link, then the
+        shared uplink).
+        """
+        route = self.topology.route(src, dst)
+        wait = 0
+        for hop in route.hops:
+            wait += hop.reserve_access(now + wait, CACHE_LINE_BYTES)
+        for shared in route.shared:
+            wait += shared.reserve_access(now + wait, CACHE_LINE_BYTES)
+        return wait
 
     # -- driver-side fixed charges -------------------------------------
 
@@ -264,9 +313,34 @@ class TimingKernel:
         """Shoot down ``count`` GPUs' PTE/TLB entries (+acks)."""
         return int(count * self.latency.invalidation_per_gpu * scale)
 
-    def gps_broadcast(self, subscribers: int) -> int:
-        """GPS fine-grained store broadcast to ``subscribers`` GPUs."""
-        return subscribers * self.latency.gps_store_broadcast
+    def collapse_invalidation(
+        self, writer: int, holder: int, scale: float = 1.0
+    ) -> int:
+        """Shoot down one replica ``holder`` during a write collapse.
+
+        The classic per-GPU invalidation charge, plus the control
+        latency of any route hops beyond the first between the writer
+        and the holder — zero on single-hop fabrics, so the all-to-all
+        collapse cost is unchanged.
+        """
+        return (
+            self.invalidation(1, scale)
+            + self._message_extra[(writer, holder)]
+        )
+
+    def gps_broadcast(self, writer: int, subscribers: Sequence[int]) -> int:
+        """GPS fine-grained store broadcast from ``writer``.
+
+        Each subscriber costs the per-store broadcast constant scaled
+        by its route's hop count — one hop (the classic all-to-all
+        charge) stays bit-for-bit, while switched/ring/cross-node
+        subscribers pay proportionally for the longer path.
+        """
+        per_hop = self.latency.gps_store_broadcast
+        return sum(
+            per_hop * self._route_hops[(writer, sub)]
+            for sub in subscribers
+        )
 
     # -- contention statistics -----------------------------------------
 

@@ -299,7 +299,7 @@ class UvmDriver:
         subscribers = page.holders() - {gpu}
         if not subscribers:
             return 0
-        cycles = m.kernel.gps_broadcast(len(subscribers))
+        cycles = m.kernel.gps_broadcast(gpu, sorted(subscribers))
         m.breakdown.charge(LatencyCategory.REMOTE_ACCESS, cycles)
         return cycles
 

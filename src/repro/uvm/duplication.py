@@ -123,7 +123,9 @@ class DuplicationEngine:
             m.gpus[loser].clock += flush
             m.gpus[loser].invalidate_translation(page.vpn)
             m.gpus[loser].dram.release(page.vpn)
-            cycles += flush + kernel.invalidation(1, flush_scale)
+            cycles += flush + kernel.collapse_invalidation(
+                writer, loser, flush_scale
+            )
         if not writer_has_copy:
             src = page.owner if page.owner != HOST_NODE else HOST_NODE
             cycles += kernel.transfer(

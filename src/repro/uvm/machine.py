@@ -57,6 +57,7 @@ class MachineState:
         initial_scheme: Scheme = Scheme.ON_TOUCH,
     ) -> "MachineState":
         """Construct the full machine for a workload footprint."""
+        from repro.interconnect.routing import topology_spec
         from repro.sim.gpu import GpuNode
         from repro.sim.timing import TimingKernel
 
@@ -65,7 +66,9 @@ class MachineState:
             GpuNode(gpu_id=g, config=config, dram_frames=frames)
             for g in range(config.num_gpus)
         ]
-        topology = Topology(config.num_gpus, config.latency)
+        topology = Topology(
+            config.num_gpus, config.latency, spec=topology_spec(config)
+        )
         return cls(
             config=config,
             gpus=gpus,

@@ -181,6 +181,7 @@ class TestSelection:
             "bfs-grit",
             "fir-grit-contended",
             "fir-grit-fastpath",
+            "fir-grit-8gpu-nvswitch",
         ]
 
     def test_unknown_case_rejected(self):

@@ -25,6 +25,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.errors import ConfigError
+from repro.interconnect.routing import TopologySpec
 from repro.policies import make_policy
 from repro.policies.on_touch import OnTouchPolicy
 from repro.sim.engine import Engine, simulate
@@ -268,6 +269,56 @@ class TestFastPathEquivalence:
             FastPath(engine)
         result = engine.run()
         assert result.counters.fastpath_runs == 0
+
+
+#: (num_gpus, topology) shapes exercised by the scale-out matrix —
+#: shared with the contention sweep in ``test_timing.py``.
+SCALE_MATRIX = [
+    (4, "all-to-all"),
+    (4, "ring"),
+    (8, "nvswitch:4"),
+    (8, "ring"),
+    (8, "multi-node:2"),
+    (16, "nvswitch:4"),
+    (16, "multi-node:4"),
+]
+
+
+class TestFastPathScaleMatrix:
+    """Fast on == fast off holds on every scale-out fabric shape."""
+
+    @pytest.mark.parametrize("num_gpus,topology", SCALE_MATRIX)
+    def test_scale_out_traces_match_bit_for_bit(
+        self, num_gpus, topology
+    ):
+        outputs = []
+        for fast in (True, False):
+            trace = _random_trace(21, num_gpus)
+            timeline = IntervalTimeline(
+                num_gpus=num_gpus, interval_length=10_000
+            )
+            event_log = EventLog()
+            result = simulate(
+                SystemConfig(
+                    num_gpus=num_gpus,
+                    topology=topology,
+                    fast_path=fast,
+                ),
+                trace,
+                make_policy("grit"),
+                timeline=timeline,
+                event_log=event_log,
+            )
+            if fast:
+                assert result.counters.fastpath_accesses > 0, (
+                    "trace generator produced no steady runs — the "
+                    "equivalence check is vacuous"
+                )
+            outputs.append(_flatten(result, timeline, event_log))
+        assert outputs[0] == outputs[1]
+        assert outputs[0]["details"]["topology"] == TopologySpec.parse(
+            topology, num_gpus
+        ).describe()
 
 
 class TestFastPathSpeedup:

@@ -26,11 +26,24 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 #: (workload, policy) pairs captured in the golden file.
 GOLDEN_KEYS = sorted(GOLDEN)
 
+#: Scale-out twin: the same 32 runs captured at 8 GPUs on the
+#: ``nvswitch`` topology, locking routed multi-hop timing the same way
+#: the 4-GPU all-to-all path is locked.
+GOLDEN_8GPU_PATH = (
+    pathlib.Path(__file__).parent.parent
+    / "data"
+    / "pipeline_golden_8gpu.json"
+)
+GOLDEN_8GPU = json.loads(GOLDEN_8GPU_PATH.read_text())
+GOLDEN_8GPU_KEYS = sorted(GOLDEN_8GPU)
 
-def _run(workload: str, policy: str, **config_changes) -> dict:
+
+def _run(
+    workload: str, policy: str, num_gpus: int = 4, **config_changes
+) -> dict:
     """One golden-config run, flattened the way the goldens were."""
-    config = SystemConfig(num_gpus=4, **config_changes)
-    trace = make_workload(workload, num_gpus=4, scale=0.05)
+    config = SystemConfig(num_gpus=num_gpus, **config_changes)
+    trace = make_workload(workload, num_gpus=num_gpus, scale=0.05)
     result = simulate(config, trace, make_policy(policy))
     return {
         "total_cycles": result.total_cycles,
@@ -41,6 +54,23 @@ def _run(workload: str, policy: str, **config_changes) -> dict:
     }
 
 
+def _assert_matches_golden(got: dict, want: dict, key: str) -> None:
+    """Compare a run against a capture, on the capture's own keys."""
+    for section, expected in want.items():
+        actual = got[section]
+        if isinstance(expected, dict):
+            # Goldens predate some counters (the batching counters on
+            # the 4-GPU capture, the fastpath diagnostics on the 8-GPU
+            # one); comparing on the golden's own keys keeps captures
+            # valid as new always-zero-or-diagnostic fields appear.
+            for field, value in expected.items():
+                assert actual[field] == value, (
+                    f"{key}: {section}.{field}"
+                )
+        else:
+            assert actual == expected, f"{key}: {section}"
+
+
 class TestInlineEquivalence:
     """batch_size 1 reproduces the pre-pipeline simulator exactly."""
 
@@ -48,24 +78,32 @@ class TestInlineEquivalence:
     def test_bit_identical_to_pre_pipeline_golden(self, key):
         workload, policy = key.split("/")
         got = _run(workload, policy)
-        want = GOLDEN[key]
-        for section, expected in want.items():
-            actual = got[section]
-            if isinstance(expected, dict):
-                # The golden predates the batching counters; compare on
-                # the golden's own keys so new (necessarily zero-valued
-                # at batch 1) counters don't invalidate the capture.
-                for field, value in expected.items():
-                    assert actual[field] == value, (
-                        f"{key}: {section}.{field}"
-                    )
-            else:
-                assert actual == expected, f"{key}: {section}"
+        _assert_matches_golden(got, GOLDEN[key], key)
 
     def test_inline_runs_form_no_batches(self):
         got = _run("bfs", "grit")
         assert got["counters"]["fault_batches"] == 0
         assert got["counters"]["coalesced_faults"] == 0
+
+
+class TestScaleOutGolden:
+    """8-GPU nvswitch runs reproduce their committed capture."""
+
+    @pytest.mark.parametrize("key", GOLDEN_8GPU_KEYS)
+    def test_bit_identical_to_8gpu_golden(self, key):
+        workload, policy = key.split("/")
+        got = _run(workload, policy, num_gpus=8, topology="nvswitch")
+        _assert_matches_golden(got, GOLDEN_8GPU[key], key)
+
+    def test_golden_covers_full_matrix(self):
+        # Same 8 workloads x 4 policies as the 4-GPU capture.
+        assert GOLDEN_8GPU_KEYS == GOLDEN_KEYS
+
+    def test_golden_records_routed_topology(self):
+        for key in GOLDEN_8GPU_KEYS:
+            capture = GOLDEN_8GPU[key]
+            assert capture["details"]["topology"] == "nvswitch:4", key
+            assert len(capture["per_gpu_cycles"]) == 8, key
 
 
 class TestBatchedServicing:

@@ -1,0 +1,117 @@
+"""Workload determinism: seeded generators are byte-reproducible.
+
+``test_generators.py`` checks element equality on the default seed;
+this suite tightens the contract to *byte* identity (values, dtypes,
+and shapes) for every registered generator under explicit seeds — the
+property the committed goldens and bench baselines rest on — and pins
+down exactly which num_gpus-stability guarantees the synthetic
+generators provide by design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.synthetic import hot_cold, uniform_random
+
+ALL_GENERATORS = available_workloads()
+
+#: Generators whose traces are drawn from their rng (the structured
+#: ones — fir, sc, st, c2d, the DNNs — are seed-insensitive by
+#: design: their access patterns are fully determined by shape).
+SEEDED_GENERATORS = ["bfs", "bs", "gemm", "mm"]
+
+
+def _fingerprint(trace) -> tuple:
+    """Everything a trace feeds the engine, reduced to bytes."""
+    streams = tuple(
+        (
+            vpns.tobytes(),
+            str(vpns.dtype),
+            writes.tobytes(),
+            str(writes.dtype),
+        )
+        for vpns, writes in trace.streams
+    )
+    return (
+        trace.name,
+        trace.num_gpus,
+        trace.footprint_pages,
+        streams,
+        tuple(sorted(trace.metadata.items())),
+    )
+
+
+class TestRegisteredGeneratorDeterminism:
+    @pytest.mark.parametrize("app", ALL_GENERATORS)
+    @pytest.mark.parametrize("num_gpus", [4, 8])
+    def test_repeat_calls_are_byte_identical(self, app, num_gpus):
+        first = make_workload(app, num_gpus=num_gpus, scale=0.1, seed=99)
+        second = make_workload(
+            app, num_gpus=num_gpus, scale=0.1, seed=99
+        )
+        assert _fingerprint(first) == _fingerprint(second)
+
+    @pytest.mark.parametrize("app", SEEDED_GENERATORS)
+    def test_seed_actually_steers_random_generators(self, app):
+        a = make_workload(app, num_gpus=4, scale=0.1, seed=99)
+        b = make_workload(app, num_gpus=4, scale=0.1, seed=100)
+        assert _fingerprint(a) != _fingerprint(b)
+
+    @pytest.mark.parametrize("app", ALL_GENERATORS)
+    def test_default_seed_is_stable(self, app):
+        # ``seed=None`` must fall through to the generator's fixed
+        # default, not to nondeterministic entropy.
+        assert _fingerprint(
+            make_workload(app, num_gpus=4, scale=0.1)
+        ) == _fingerprint(make_workload(app, num_gpus=4, scale=0.1))
+
+
+class TestNumGpusStability:
+    """Scaling the GPU count must not scramble unaffected streams.
+
+    The registered app generators size their regions from ``num_gpus``,
+    so their traces legitimately reshape wholesale; the synthetic
+    generators are the ones that promise stability, because their
+    footprints are fixed and their rng draws stream-by-stream.
+    """
+
+    def test_hot_cold_streams_are_a_stable_prefix(self):
+        small = hot_cold(num_gpus=4, seed=5)
+        large = hot_cold(num_gpus=8, seed=5)
+        for gpu in range(4):
+            for small_arr, large_arr in zip(
+                small.streams[gpu], large.streams[gpu]
+            ):
+                assert np.array_equal(small_arr, large_arr)
+
+    def test_uniform_random_first_phase_is_stable(self):
+        accesses, phases = 4_000, 2
+        small = uniform_random(
+            num_gpus=4,
+            accesses_per_gpu=accesses,
+            phases=phases,
+            seed=5,
+        )
+        large = uniform_random(
+            num_gpus=8,
+            accesses_per_gpu=accesses,
+            phases=phases,
+            seed=5,
+        )
+        per_phase = accesses // phases
+        for gpu in range(4):
+            for small_arr, large_arr in zip(
+                small.streams[gpu], large.streams[gpu]
+            ):
+                assert np.array_equal(
+                    small_arr[:per_phase], large_arr[:per_phase]
+                )
+        # Later phases draw after the new GPUs' phase-0 accesses, so
+        # they must diverge — if they ever match, the generator
+        # stopped sharing its rng and this contract needs a fresh look.
+        assert not np.array_equal(
+            small.streams[0][0], large.streams[0][0]
+        )
